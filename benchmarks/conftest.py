@@ -1,0 +1,36 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+experiment registry, prints the resulting table (so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the paper's numbers), asserts the
+qualitative shape, and reports its wall-clock cost through pytest-benchmark.
+
+The experiments are full simulations, so each one is run exactly once
+(``pedantic(rounds=1, iterations=1)``) rather than letting pytest-benchmark
+calibrate with many repetitions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+
+
+def run_experiment_once(benchmark, run: Callable[..., ExperimentResult],
+                        **kwargs: Any) -> ExperimentResult:
+    """Run one experiment exactly once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(lambda: run(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    return result
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Fixture-form of :func:`run_experiment_once`."""
+    def _runner(run: Callable[..., ExperimentResult], **kwargs: Any) -> ExperimentResult:
+        return run_experiment_once(benchmark, run, **kwargs)
+    return _runner

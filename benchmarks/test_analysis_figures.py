@@ -1,0 +1,88 @@
+"""Benchmarks regenerating the analysis-section figures (Figs. 1-6, Table 3, Fig. 8).
+
+Each benchmark prints the reproduced table (run with ``-s`` to see it) and
+asserts the qualitative findings of Sec. 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import registry
+from repro.experiments.base import DEFAULT_SCALE, SWEEP_SCALE
+
+
+def test_fig1_resnet18_pipeline_rates(run_once):
+    """Fig. 1: the data pipeline cannot feed 8 V100s for ResNet18."""
+    result = run_once(registry.get_experiment("fig1"), scale=DEFAULT_SCALE)
+    rates = {row["component"]: row["rate_mbps"] for row in result.rows}
+    gpu_demand = rates["GPU ingestion demand (8xV100)"]
+    assert rates["prep, 24 CPU cores"] < gpu_demand
+    assert rates["prep, 24 cores + GPU offload"] < gpu_demand
+    assert rates["HDD random read"] < rates["SSD random read"] < gpu_demand
+    # The paper's anchors, loosely: SSD ~530 MB/s, CPU prep ~735 MB/s.
+    assert 350 <= rates["SSD random read"] <= 600
+    assert 500 <= rates["prep, 24 CPU cores"] <= 1000
+
+
+def test_fig2_fetch_stalls_across_models(run_once):
+    """Fig. 2: at a 35% cache most models lose 10-70% of the epoch to I/O."""
+    result = run_once(registry.get_experiment("fig2"), scale=SWEEP_SCALE)
+    stalls = result.column("fetch_stall_pct")
+    assert sum(s >= 10.0 for s in stalls) >= 6
+    assert 40.0 <= max(stalls) <= 95.0
+
+
+def test_fig3_resnet18_cache_size_sweep(run_once):
+    """Fig. 3: thrashing adds fetch stall on top of the capacity-miss minimum."""
+    result = run_once(registry.get_experiment("fig3"), scale=SWEEP_SCALE)
+    first, last = result.rows[0], result.rows[-1]
+    assert first["cache_pct"] < last["cache_pct"]
+    assert first["thrashing_stall_s"] > last["thrashing_stall_s"]
+    assert first["dali_miss_pct"] > first["ideal_miss_pct"]
+
+
+def test_fig4_cpu_cores_per_gpu_sweep(run_once):
+    """Fig. 4: 3-4 cores/GPU suffice for ResNet50; light models need 12-24."""
+    result = run_once(registry.get_experiment("fig4"), scale=SWEEP_SCALE)
+    needed = {row["model"]: row["cores_needed_per_gpu"] for row in result.rows}
+    assert needed["resnet50"] <= 5
+    assert needed["resnet18"] >= 6
+    assert needed["alexnet"] >= 8
+    for model in ("resnet18", "alexnet"):
+        rows = [r for r in result.rows if r["model"] == model]
+        assert rows[-1]["throughput"] > rows[0]["throughput"]
+
+
+def test_fig5_dali_gpu_prep_on_slow_vs_fast_gpus(run_once):
+    """Fig. 5: GPU prep rescues the 1080Ti but leaves a large stall on V100s."""
+    result = run_once(registry.get_experiment("fig5"), scale=SWEEP_SCALE)
+    v100 = [r for r in result.rows
+            if r["server"] == "Config-SSD-V100" and r["prep_mode"] == "cpu+gpu"][0]
+    ti = [r for r in result.rows
+          if r["server"] == "Config-HDD-1080Ti" and r["prep_mode"] == "cpu+gpu"][0]
+    assert v100["prep_stall_pct"] > 20.0
+    assert ti["prep_stall_pct"] < v100["prep_stall_pct"]
+
+
+def test_fig6_prep_stalls_across_models(run_once):
+    """Fig. 6: prep stalls of roughly 5-65%+, larger for compute-light models."""
+    result = run_once(registry.get_experiment("fig6"), scale=SWEEP_SCALE)
+    stalls = {row["model"]: row["prep_stall_pct"] for row in result.rows}
+    assert stalls["shufflenetv2"] > stalls["mobilenetv2"] > stalls["resnet50"]
+    assert max(stalls.values()) > 50.0
+    assert min(stalls.values()) < 30.0
+
+
+def test_tab3_tensorflow_tfrecord_stalls(run_once):
+    """Table 3: TFRecord scans miss heavily and HP search amplifies reads ~6-8x."""
+    result = run_once(registry.get_experiment("tab3"), scale=DEFAULT_SCALE)
+    for row in result.rows:
+        assert row["train_miss_pct"] >= 80.0
+        assert 4.0 <= row["read_amplification"] <= 8.5
+
+
+def test_fig8_minio_toy_example(run_once):
+    """Fig. 8: MinIO takes only capacity misses; the page cache thrashes."""
+    result = run_once(registry.get_experiment("fig8"))
+    for row in result.rows:
+        assert row["minio_misses"] == row["capacity_misses"] == 2
+        assert 2 <= row["page_cache_misses"] <= 4

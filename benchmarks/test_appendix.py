@@ -1,0 +1,78 @@
+"""Benchmarks for the appendix experiments (Figs. 12-14, 17, 19-23)."""
+
+from __future__ import annotations
+
+from repro.experiments import registry
+from repro.experiments.base import SWEEP_SCALE
+
+
+def test_fig12_high_cpu_server(run_once):
+    """Fig. 12: hyper-threads shave but do not remove ResNet18's prep stall."""
+    result = run_once(registry.get_experiment("fig12"), scale=SWEEP_SCALE)
+    gpu_rows = [r for r in result.rows if r["prep_mode"] == "cpu+gpu"]
+    assert gpu_rows[-1]["prep_stall_pct"] <= gpu_rows[0]["prep_stall_pct"]
+    assert gpu_rows[-1]["prep_stall_pct"] > 15.0
+
+
+def test_fig13_pytorch_vs_dali(run_once):
+    """Fig. 13: DALI beats the Pillow-based PyTorch DL; GPU prep hurts ResNet50."""
+    result = run_once(registry.get_experiment("fig13"), scale=SWEEP_SCALE)
+    for row in result.rows:
+        assert row["dali_cpu_epoch_s"] <= row["pytorch_epoch_s"] * 1.01
+    assert result.row_for("model", "resnet50")["best_for_model"] == "dali-cpu"
+    assert result.row_for("model", "resnet18")["best_for_model"] == "dali-gpu"
+
+
+def test_fig14_batch_size_sweep(run_once):
+    """Fig. 14: bigger batches cut GPU time but prep keeps the epoch flat."""
+    result = run_once(registry.get_experiment("fig14"), scale=SWEEP_SCALE)
+    small, large = result.rows[0], result.rows[-1]
+    assert large["gpu_compute_s"] < small["gpu_compute_s"]
+    assert large["epoch_time_s"] >= 0.8 * small["epoch_time_s"]
+    assert large["prep_stall_pct"] >= small["prep_stall_pct"]
+
+
+def test_fig17_imagenet22k_hp_search(run_once):
+    """Fig. 17: HP-search gains persist on ImageNet-22K (up to ~2.5x)."""
+    result = run_once(registry.get_experiment("fig17"), scale=SWEEP_SCALE)
+    speedups = result.column("speedup")
+    assert max(speedups) >= 1.3
+    assert all(s >= 0.95 for s in speedups)
+
+
+def test_fig19_20_resource_utilisation(run_once):
+    """Figs. 19/20: better CPU use, small bounded staging memory."""
+    result = run_once(registry.get_experiment("fig19_20"), scale=SWEEP_SCALE)
+    util = result.row_for("metric", "cpu_utilisation_pct")
+    staging = result.row_for("metric", "staging_peak_gb")
+    assert util["coordl"] >= util["dali"]
+    assert 0.0 < staging["coordl"] < 16.0
+
+
+def test_fig21_pycoordl_minio_in_pytorch_dl(run_once):
+    """Fig. 21: MinIO helps the native PyTorch DL a lot on HDD, little on SSD."""
+    result = run_once(registry.get_experiment("fig21"), scale=SWEEP_SCALE)
+    hdd = [r for r in result.rows if r["storage"] == "hdd"]
+    ssd = [r for r in result.rows if r["storage"] == "sata-ssd"]
+    assert max(r["speedup"] for r in hdd) >= 1.5
+    assert max(r["speedup"] for r in hdd) > max(r["speedup"] for r in ssd)
+
+
+def test_fig22_pycoordl_coordinated_prep(run_once):
+    """Fig. 22: coordinated prep removes most of the stall for 4-8 PyTorch jobs."""
+    result = run_once(registry.get_experiment("fig22"), scale=SWEEP_SCALE)
+    by_jobs = {row["num_jobs"]: row["speedup"] for row in result.rows}
+    assert by_jobs[8] >= by_jobs[4] >= 1.2
+
+
+def test_fig23_end_to_end_hp_search(run_once):
+    """Fig. 23: coordinated prep helps everywhere; MinIO adds more on HDD."""
+    result = run_once(registry.get_experiment("fig23"), scale=SWEEP_SCALE)
+    for storage in ("hdd", "sata-ssd"):
+        rows = {r["configuration"]: r for r in result.rows if r["storage"] == storage}
+        assert (rows["py-coordl"]["epoch_time_s"]
+                <= rows["coordinated-prep"]["epoch_time_s"] * 1.001
+                <= rows["pytorch-dl"]["epoch_time_s"] * 1.001)
+    hdd_full = [r for r in result.rows
+                if r["storage"] == "hdd" and r["configuration"] == "py-coordl"][0]
+    assert hdd_full["speedup_vs_baseline"] >= 2.0

@@ -1,0 +1,73 @@
+"""Benchmarks for Figs. 10, 11, 16, 18 and Tables 5, 6, 7 of the evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.base import DEFAULT_SCALE, SWEEP_SCALE
+
+
+def test_fig10_time_to_accuracy(run_once):
+    """Fig. 10: ResNet50/ImageNet-1K reaches 75.9% ~4x sooner with CoorDL."""
+    result = run_once(registry.get_experiment("fig10"), scale=SWEEP_SCALE)
+    coordl = result.row_for("loader", "coordl")
+    dali = result.row_for("loader", "dali")
+    assert coordl["epochs_to_target"] == pytest.approx(dali["epochs_to_target"])
+    assert 2.0 <= coordl["speedup"] <= 12.0
+    assert coordl["time_to_accuracy_hours"] < dali["time_to_accuracy_hours"]
+
+
+def test_fig11_disk_io_pattern(run_once):
+    """Fig. 11: CoorDL reads less from disk and finishes the epoch earlier."""
+    result = run_once(registry.get_experiment("fig11"), scale=DEFAULT_SCALE)
+    final = result.rows[-1]
+    assert final["coordl_disk_gb"] < final["dali_disk_gb"]
+    dali_series = result.column("dali_disk_gb")
+    assert dali_series == sorted(dali_series)  # cumulative I/O is monotone
+
+
+def test_tab5_predictor_accuracy(run_once):
+    """Table 5: DS-Analyzer's speed predictions track the simulated runs."""
+    result = run_once(registry.get_experiment("tab5"), scale=DEFAULT_SCALE)
+    assert all(row["error_pct"] <= 20.0 for row in result.rows)
+    speeds = result.column("predicted_samples_per_s")
+    assert speeds == sorted(speeds)  # more cache, more (predicted) speed
+
+
+def test_fig16_optimal_cache_size(run_once):
+    """Fig. 16: speed saturates once the job stops being IO-bound."""
+    result = run_once(registry.get_experiment("fig16"), scale=SWEEP_SCALE)
+    assert result.rows[0]["bottleneck"] == "io-bound"
+    assert result.rows[-1]["bottleneck"] != "io-bound"
+    speeds = result.column("predicted_speed")
+    assert speeds[-1] >= speeds[0]
+
+
+def test_tab6_cache_misses_and_disk_io(run_once):
+    """Table 6: CoorDL reduces misses to the capacity minimum (35%)."""
+    result = run_once(registry.get_experiment("tab6"), scale=DEFAULT_SCALE)
+    misses = {row["loader"]: row["cache_miss_pct"] for row in result.rows}
+    disk = {row["loader"]: row["disk_io_gb"] for row in result.rows}
+    assert misses["CoorDL"] <= misses["DALI-shuffle"] <= misses["DALI-seq"]
+    assert misses["CoorDL"] == pytest.approx(35.0, abs=5.0)
+    assert disk["CoorDL"] < disk["DALI-shuffle"] < disk["DALI-seq"]
+
+
+def test_tab7_hp_search_fully_cached(run_once):
+    """Table 7: redundant prep alone costs 1.2-1.9x for light models."""
+    result = run_once(registry.get_experiment("tab7"), scale=SWEEP_SCALE)
+    speedups = {row["model"]: row["speedup"] for row in result.rows}
+    assert speedups["shufflenetv2"] >= speedups["resnet50"]
+    assert speedups["alexnet"] >= 1.5
+    assert all(s >= 0.99 for s in speedups.values())
+
+
+def test_fig18_partitioned_cache_scalability(run_once):
+    """Fig. 18: CoorDL keeps scaling with more servers and does no disk I/O."""
+    result = run_once(registry.get_experiment("fig18"), scale=SWEEP_SCALE)
+    coordl_tp = result.column("coordl_throughput")
+    assert coordl_tp == sorted(coordl_tp)
+    for row in result.rows:
+        assert row["coordl_disk_gb_per_server"] <= 1e-6
+        assert row["speedup"] >= 2.0

@@ -1,0 +1,62 @@
+"""Benchmarks regenerating Fig. 9: CoorDL vs DALI across training scenarios."""
+
+from __future__ import annotations
+
+from repro.experiments import registry
+from repro.experiments.base import SWEEP_SCALE
+
+
+def test_fig9a_single_server_ssd(run_once):
+    """Fig. 9(a): MinIO speeds single-server training by up to ~1.4-2x."""
+    result = run_once(registry.get_experiment("fig9a"), scale=SWEEP_SCALE,
+                      server_name="ssd-v100")
+    speedups_seq = result.column("speedup_vs_seq")
+    speedups_shuffle = result.column("speedup_vs_shuffle")
+    assert all(s >= 0.95 for s in speedups_shuffle)
+    assert max(speedups_seq) >= 1.3
+    assert max(speedups_shuffle) >= 1.2
+
+
+def test_fig9a_single_server_hdd(run_once):
+    """Fig. 9(a), HDD servers: the miss penalty is larger, so gains grow."""
+    result = run_once(registry.get_experiment("fig9a"), scale=SWEEP_SCALE,
+                      server_name="hdd-1080ti")
+    resnet50 = result.row_for("model", "resnet50")
+    assert resnet50["speedup_vs_seq"] >= 1.3
+    assert all(row["speedup_vs_shuffle"] >= 0.95 for row in result.rows)
+
+
+def test_fig9b_distributed_hdd(run_once):
+    """Fig. 9(b): partitioned caching gives order-of-magnitude gains on HDD."""
+    result = run_once(registry.get_experiment("fig9b"), scale=SWEEP_SCALE,
+                      server_name="hdd-1080ti")
+    alexnet = result.row_for("model", "alexnet")
+    assert alexnet["speedup"] >= 5.0
+    assert all(row["coordl_disk_gb_per_server"] <= 1e-6 for row in result.rows)
+
+
+def test_fig9c_distributed_ssd(run_once):
+    """Fig. 9(c): on SSD servers the distributed gains are smaller (1.3-3x)."""
+    result = run_once(registry.get_experiment("fig9b"), scale=SWEEP_SCALE,
+                      server_name="ssd-v100")
+    speedups = result.column("speedup")
+    assert all(s >= 0.95 for s in speedups)
+    assert 1.2 <= max(speedups) <= 6.0
+
+
+def test_fig9d_hp_search_eight_jobs(run_once):
+    """Fig. 9(d): coordinated prep + MinIO give 1.2-5.6x for 8-job HP search."""
+    result = run_once(registry.get_experiment("fig9d"), scale=SWEEP_SCALE)
+    speedups = {row["model"]: row["speedup"] for row in result.rows}
+    assert speedups["audio-m5"] >= 2.0
+    assert speedups["alexnet"] >= 1.5
+    assert all(s >= 0.95 for s in speedups.values())
+    assert all(row["coordl_disk_gb"] <= row["dali_disk_gb"] for row in result.rows)
+
+
+def test_fig9e_hp_search_job_shapes(run_once):
+    """Fig. 9(e): the benefit grows with the number of concurrent jobs."""
+    result = run_once(registry.get_experiment("fig9e"), scale=SWEEP_SCALE)
+    by_jobs = {row["num_jobs"]: row["speedup"] for row in result.rows}
+    assert by_jobs[8] >= by_jobs[4] >= by_jobs[2] * 0.95
+    assert by_jobs[8] > 1.5

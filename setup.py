@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools cannot build PEP 660 editable wheels (no
+``wheel`` package available); pip falls back to the legacy ``setup.py
+develop`` path in that case.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Analyzing and Mitigating Data Stalls in DNN "
+        "Training' (CoorDL + DS-Analyzer, VLDB 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Analyzing and Mitigating Data Stalls in DNN Training".
+
+The library has three layers:
+
+* **substrates** — synthetic datasets and samplers (:mod:`repro.datasets`),
+  storage devices and I/O accounting (:mod:`repro.storage`), caches
+  (:mod:`repro.cache`), pre-processing cost models (:mod:`repro.prep`),
+  GPU/model rate models (:mod:`repro.compute`) and server/cluster
+  configurations (:mod:`repro.cluster`);
+* **contributions** — the CoorDL coordinated data loader
+  (:mod:`repro.coordl`: MinIO cache, partitioned caching, coordinated prep)
+  and the DS-Analyzer profiler/predictor (:mod:`repro.dsanalyzer`), with the
+  DALI / native-PyTorch baselines in :mod:`repro.pipeline`;
+* **scenarios** — the pipelined epoch simulator and the single-server,
+  distributed-training and HP-search drivers (:mod:`repro.sim`), plus one
+  module per paper figure/table in :mod:`repro.experiments`.
+"""
+
+from repro.cluster import config_hdd_1080ti, config_ssd_v100, get_server_config
+from repro.compute import get_model, model_names
+from repro.coordl import CoorDL, CoorDLLoader, PartitionedCoorDLLoader
+from repro.datasets import SyntheticDataset, get_dataset_spec
+from repro.dsanalyzer import DataStallPredictor, DSAnalyzerProfiler
+from repro.pipeline import DALILoader, PyTorchNativeLoader
+from repro.sim import (
+    DistributedTraining,
+    HPSearchScenario,
+    PipelineSimulator,
+    SingleServerTraining,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SyntheticDataset",
+    "get_dataset_spec",
+    "get_model",
+    "model_names",
+    "config_ssd_v100",
+    "config_hdd_1080ti",
+    "get_server_config",
+    "CoorDL",
+    "CoorDLLoader",
+    "PartitionedCoorDLLoader",
+    "DALILoader",
+    "PyTorchNativeLoader",
+    "DSAnalyzerProfiler",
+    "DataStallPredictor",
+    "PipelineSimulator",
+    "SingleServerTraining",
+    "DistributedTraining",
+    "HPSearchScenario",
+]

@@ -1,0 +1,23 @@
+"""Cache substrate: LRU / OS page cache, MinIO, and partitioned caching."""
+
+from repro.cache.base import Cache
+from repro.cache.lru import LRUCache
+from repro.cache.minio import MinIOCache
+from repro.cache.page_cache import PageCache
+from repro.cache.partitioned import (
+    LookupSource,
+    PartitionedCacheGroup,
+    PartitionedLookup,
+)
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "LRUCache",
+    "PageCache",
+    "MinIOCache",
+    "PartitionedCacheGroup",
+    "PartitionedLookup",
+    "LookupSource",
+]

@@ -1,0 +1,84 @@
+"""Cache interface.
+
+All caches in this library share a minimal byte-budgeted interface: look up an
+item, admit an item, and report occupancy.  Caches store item *ids* and
+*sizes*, never payloads — the simulation only needs to know whether a request
+hits and how many bytes move.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.cache.stats import CacheStats
+from repro.exceptions import ConfigurationError
+
+
+class Cache(ABC):
+    """Byte-budgeted cache of dataset items.
+
+    Args:
+        capacity_bytes: Total byte budget.  A capacity of zero is legal and
+            models the "cold, cache-disabled" configurations DS-Analyzer uses
+            to measure the pure storage fetch rate.
+    """
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes < 0:
+            raise ConfigurationError("cache capacity cannot be negative")
+        self._capacity = float(capacity_bytes)
+        self._stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Total byte budget."""
+        return self._capacity
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters."""
+        return self._stats
+
+    @property
+    @abstractmethod
+    def used_bytes(self) -> float:
+        """Bytes currently occupied."""
+
+    @abstractmethod
+    def __contains__(self, item_id: int) -> bool:
+        """Whether the item is currently cached (no side effects)."""
+
+    @abstractmethod
+    def lookup(self, item_id: int) -> bool:
+        """Record an access; return True on hit.
+
+        Unlike ``__contains__`` this updates recency metadata (for policies
+        that track it) and the hit/miss counters.
+        """
+
+    @abstractmethod
+    def admit(self, item_id: int, size_bytes: float) -> bool:
+        """Offer an item for caching after a miss; return True if cached."""
+
+    @abstractmethod
+    def cached_items(self) -> Iterable[int]:
+        """Ids of all currently cached items."""
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cached_items())
+
+    @property
+    def free_bytes(self) -> float:
+        """Remaining byte budget."""
+        return max(0.0, self._capacity - self.used_bytes)
+
+    def occupancy(self) -> float:
+        """Fraction of the byte budget in use."""
+        if self._capacity == 0:
+            return 0.0
+        return self.used_bytes / self._capacity
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without touching contents."""
+        self._stats = CacheStats()

@@ -1,0 +1,76 @@
+"""Least-recently-used cache.
+
+This is the textbook LRU eviction policy over variable-sized items.  It is the
+building block for the OS page-cache model
+(:class:`~repro.cache.page_cache.PageCache`) and is also useful on its own as
+the policy the paper contrasts MinIO against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.cache.base import Cache
+
+
+class LRUCache(Cache):
+    """Variable-size LRU cache keyed by item id."""
+
+    def __init__(self, capacity_bytes: float) -> None:
+        super().__init__(capacity_bytes)
+        self._entries: "OrderedDict[int, float]" = OrderedDict()
+        self._used = 0.0
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._entries
+
+    def cached_items(self) -> Iterable[int]:
+        return list(self._entries.keys())
+
+    def lookup(self, item_id: int) -> bool:
+        entry = self._entries.get(item_id)
+        if entry is None:
+            self._stats.record_miss()
+            return False
+        self._entries.move_to_end(item_id)
+        self._stats.record_hit(entry)
+        return True
+
+    def admit(self, item_id: int, size_bytes: float) -> bool:
+        if size_bytes > self._capacity:
+            self._stats.rejected += 1
+            return False
+        if item_id in self._entries:
+            # Size refresh: treat as a re-insertion at MRU position.
+            self._used -= self._entries[item_id]
+            del self._entries[item_id]
+        self._evict_until(size_bytes)
+        self._entries[item_id] = size_bytes
+        self._used += size_bytes
+        self._stats.insertions += 1
+        return True
+
+    def _evict_until(self, needed_bytes: float) -> None:
+        while self._entries and self._used + needed_bytes > self._capacity:
+            _evicted_id, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self._stats.evictions += 1
+
+    def evict(self, item_id: int) -> bool:
+        """Explicitly drop one item; returns True if it was present."""
+        size = self._entries.pop(item_id, None)
+        if size is None:
+            return False
+        self._used -= size
+        self._stats.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every cached item (echo 3 > drop_caches)."""
+        self._entries.clear()
+        self._used = 0.0

@@ -1,0 +1,73 @@
+"""The MinIO cache (Sec. 4.1) — the paper's DNN-aware caching policy.
+
+Key observation: DNN training accesses every item exactly once per epoch in a
+random order, so *which* items are cached is irrelevant — all that matters is
+that cached items are not evicted before they are used.  MinIO therefore never
+replaces anything: items are admitted while there is space, and once the cache
+is full all further requests for uncached items go to storage.  Every epoch
+after the first then gets exactly ``len(cache)`` hits, the theoretical minimum
+amount of disk I/O for the given DRAM budget.
+
+The policy needs no recency or frequency bookkeeping, which is the point the
+paper makes about its simplicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.cache.base import Cache
+
+
+class MinIOCache(Cache):
+    """Insert-while-space, never-evict cache specialised for DNN training."""
+
+    def __init__(self, capacity_bytes: float) -> None:
+        super().__init__(capacity_bytes)
+        self._entries: Dict[int, float] = {}
+        self._used = 0.0
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._entries
+
+    def cached_items(self) -> Iterable[int]:
+        return list(self._entries.keys())
+
+    def lookup(self, item_id: int) -> bool:
+        size = self._entries.get(item_id)
+        if size is None:
+            self._stats.record_miss()
+            return False
+        self._stats.record_hit(size)
+        return True
+
+    def admit(self, item_id: int, size_bytes: float) -> bool:
+        if item_id in self._entries:
+            return True
+        if self._used + size_bytes > self._capacity:
+            # No replacement, ever: the request simply defaults to storage
+            # and the cache contents survive to serve the next epoch.
+            self._stats.rejected += 1
+            return False
+        self._entries[item_id] = size_bytes
+        self._used += size_bytes
+        self._stats.insertions += 1
+        return True
+
+    @property
+    def is_full(self) -> bool:
+        """True when no further item of typical size can be admitted."""
+        return self.free_bytes <= 0.0
+
+    def item_size(self, item_id: int) -> float:
+        """Size of a cached item (0.0 when not cached)."""
+        return self._entries.get(item_id, 0.0)
+
+    def clear(self) -> None:
+        """Drop everything — only used when a training *job* ends."""
+        self._entries.clear()
+        self._used = 0.0

@@ -1,0 +1,146 @@
+"""Partitioned caching across servers (Sec. 4.2).
+
+In distributed training every server processes a *different random shard each
+epoch*, so its locally cached items are frequently not the ones it needs, and
+cache misses fall through to (slow) local storage even though some other
+server holds the item in DRAM.  CoorDL instead:
+
+1. shards the dataset across servers in epoch 0 and populates each server's
+   local MinIO cache only with its shard, and
+2. maintains metadata mapping item id -> owning server so that a local miss is
+   served from the *remote* server's cache over TCP (40 Gbps >> SATA SSD),
+   falling back to local storage only when no server caches the item.
+
+When the aggregate DRAM of the participating servers covers the dataset, no
+server touches storage after the first epoch.
+
+:class:`PartitionedCacheGroup` implements the shared metadata directory and
+per-server MinIO caches; lookups return where the item was found so the epoch
+simulator can charge the right device (DRAM / network / disk).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.minio import MinIOCache
+from repro.datasets.dataset import SyntheticDataset
+from repro.exceptions import ConfigurationError
+
+
+class LookupSource(enum.Enum):
+    """Where a partitioned-cache lookup was satisfied."""
+
+    LOCAL_CACHE = "local_cache"
+    REMOTE_CACHE = "remote_cache"
+    STORAGE = "storage"
+
+
+@dataclass
+class PartitionedLookup:
+    """Result of one lookup against the partitioned cache group."""
+
+    source: LookupSource
+    owner: Optional[int]
+    size_bytes: float
+
+
+class PartitionedCacheGroup:
+    """MinIO caches of all servers in a distributed job, plus the directory.
+
+    Args:
+        dataset: Dataset being trained on.
+        capacities_bytes: Per-server cache byte budgets (one entry per server).
+        seed: Seed for the initial shard assignment.
+    """
+
+    def __init__(self, dataset: SyntheticDataset, capacities_bytes: Sequence[float],
+                 seed: int = 0) -> None:
+        if not capacities_bytes:
+            raise ConfigurationError("need at least one server")
+        self._dataset = dataset
+        self._caches: List[MinIOCache] = [MinIOCache(c) for c in capacities_bytes]
+        self._directory: Dict[int, int] = {}
+        self._seed = seed
+        self._shards = self._assign_shards()
+
+    def _assign_shards(self) -> List[np.ndarray]:
+        """Split the dataset evenly across servers (load-balanced, Sec. 5.5)."""
+        rng = np.random.default_rng(self._seed)
+        perm = rng.permutation(len(self._dataset))
+        bounds = np.linspace(0, len(self._dataset), self.num_servers + 1).astype(int)
+        return [perm[bounds[i]:bounds[i + 1]] for i in range(self.num_servers)]
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers participating in the job."""
+        return len(self._caches)
+
+    @property
+    def caches(self) -> List[MinIOCache]:
+        """Per-server MinIO caches (indexable by server id)."""
+        return self._caches
+
+    def shard(self, server: int) -> np.ndarray:
+        """Item ids assigned to a server for cache population."""
+        return self._shards[server]
+
+    def aggregate_capacity_bytes(self) -> float:
+        """Total DRAM cache budget across all servers."""
+        return sum(c.capacity_bytes for c in self._caches)
+
+    def covers_dataset(self) -> bool:
+        """True when the aggregate cache budget can hold the whole dataset."""
+        return self.aggregate_capacity_bytes() >= self._dataset.total_bytes
+
+    def populate_from_shards(self) -> None:
+        """Epoch-0 population: each server caches (a prefix of) its own shard.
+
+        Called by the distributed simulator after the first epoch;  in the
+        live system this happens as a side effect of the first epoch's reads.
+        """
+        for server, shard in enumerate(self._shards):
+            for item in shard:
+                item = int(item)
+                size = self._dataset.item_size(item)
+                if self._caches[server].admit(item, size):
+                    self._directory[item] = server
+                else:
+                    break  # MinIO is full; remaining shard items stay on disk
+
+    def owner_of(self, item_id: int) -> Optional[int]:
+        """Server whose cache holds the item, or None if uncached everywhere."""
+        return self._directory.get(item_id)
+
+    def lookup(self, server: int, item_id: int) -> PartitionedLookup:
+        """Look up an item on behalf of ``server``.
+
+        Order of preference mirrors CoorDL: local MinIO cache, then a remote
+        server's cache (over TCP), then local storage.
+        """
+        if not 0 <= server < self.num_servers:
+            raise ConfigurationError(f"server {server} out of range")
+        size = self._dataset.item_size(item_id)
+        if self._caches[server].lookup(item_id):
+            return PartitionedLookup(LookupSource.LOCAL_CACHE, server, size)
+        owner = self._directory.get(item_id)
+        if owner is not None and owner != server:
+            return PartitionedLookup(LookupSource.REMOTE_CACHE, owner, size)
+        return PartitionedLookup(LookupSource.STORAGE, None, size)
+
+    def admit_local(self, server: int, item_id: int) -> bool:
+        """Let a server try to cache an item it just fetched from storage."""
+        size = self._dataset.item_size(item_id)
+        admitted = self._caches[server].admit(item_id, size)
+        if admitted and item_id not in self._directory:
+            self._directory[item_id] = server
+        return admitted
+
+    def cached_fraction(self) -> float:
+        """Fraction of dataset bytes currently cached somewhere in the group."""
+        cached = sum(c.used_bytes for c in self._caches)
+        return cached / self._dataset.total_bytes

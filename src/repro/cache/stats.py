@@ -1,0 +1,47 @@
+"""Hit/miss/eviction counters shared by every cache implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a cache across lookups and admissions."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0
+    hit_bytes: float = 0.0
+    miss_bytes: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit.  Zero when no lookups happened."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of lookups that missed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def record_hit(self, nbytes: float = 0.0) -> None:
+        """Account a hit (optionally with the item's size)."""
+        self.hits += 1
+        self.hit_bytes += nbytes
+
+    def record_miss(self, nbytes: float = 0.0) -> None:
+        """Account a miss (optionally with the item's size)."""
+        self.misses += 1
+        self.miss_bytes += nbytes

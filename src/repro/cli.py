@@ -1,0 +1,113 @@
+"""Command-line interface.
+
+Provides the operations a practitioner would reach for first, without writing
+any Python:
+
+* ``python -m repro list-experiments`` — every reproduced table/figure.
+* ``python -m repro run-experiment fig9a --scale 0.01`` — regenerate one of
+  them and print the table.
+* ``python -m repro profile resnet18 openimages config-ssd-v100 --cache 0.65``
+  — DS-Analyzer profile + bottleneck classification + cache recommendation.
+* ``python -m repro report -o EXPERIMENTS.md`` — regenerate the full
+  paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.cluster.configs import get_server_config
+from repro.compute.model_zoo import get_model
+from repro.datasets.catalog import get_dataset_spec
+from repro.datasets.dataset import SyntheticDataset
+from repro.dsanalyzer.predictor import DataStallPredictor
+from repro.dsanalyzer.profiler import DSAnalyzerProfiler
+from repro.dsanalyzer.report import format_recommendation, summarize
+from repro.dsanalyzer.whatif import optimal_cache_fraction
+from repro.experiments import registry
+from repro.experiments.base import SWEEP_SCALE
+from repro.experiments.report_generator import generate
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Analyzing and Mitigating Data Stalls in "
+                    "DNN Training' (DS-Analyzer + CoorDL).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-experiments", help="list every reproduced table/figure")
+
+    run = sub.add_parser("run-experiment", help="regenerate one table/figure")
+    run.add_argument("experiment_id", help="id from list-experiments, e.g. fig9a")
+    run.add_argument("--scale", type=float, default=SWEEP_SCALE,
+                     help="dataset scale fraction (default 1/100)")
+
+    profile = sub.add_parser("profile", help="DS-Analyzer profile for a model")
+    profile.add_argument("model", help="model name, e.g. resnet18")
+    profile.add_argument("dataset", help="dataset name, e.g. openimages")
+    profile.add_argument("server", help="server config, e.g. config-ssd-v100")
+    profile.add_argument("--cache", type=float, default=0.35,
+                         help="cached fraction of the dataset (default 0.35)")
+    profile.add_argument("--scale", type=float, default=SWEEP_SCALE,
+                         help="dataset scale fraction (default 1/100)")
+    profile.add_argument("--gpu-prep", action="store_true",
+                         help="profile with DALI GPU-assisted prep")
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    report.add_argument("--scale", type=float, default=SWEEP_SCALE)
+    return parser
+
+
+def _cmd_list_experiments() -> int:
+    for experiment_id in registry.experiment_ids():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run_experiment(experiment_id: str, scale: float) -> int:
+    kwargs = {} if experiment_id == "fig8" else {"scale": scale}
+    result = registry.run_experiment(experiment_id, **kwargs)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_profile(model_name: str, dataset_name: str, server_name: str,
+                 cache_fraction: float, scale: float, gpu_prep: bool) -> int:
+    model = get_model(model_name)
+    dataset = SyntheticDataset(get_dataset_spec(dataset_name), scale=scale)
+    server = get_server_config(server_name)
+    profiler = DSAnalyzerProfiler(model, dataset, server, gpu_prep=gpu_prep)
+    predictor = DataStallPredictor(profiler.profile())
+    print(summarize(predictor, cache_fraction))
+    print()
+    print(format_recommendation(optimal_cache_fraction(predictor, dataset)))
+    return 0
+
+
+def _cmd_report(output: str, scale: float) -> int:
+    generate(output, scale)
+    print(f"wrote {output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-experiments":
+        return _cmd_list_experiments()
+    if args.command == "run-experiment":
+        return _cmd_run_experiment(args.experiment_id, args.scale)
+    if args.command == "profile":
+        return _cmd_profile(args.model, args.dataset, args.server,
+                            args.cache, args.scale, args.gpu_prep)
+    if args.command == "report":
+        return _cmd_report(args.output, args.scale)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Cluster substrate: server SKUs and the network model."""
+
+from repro.cluster.configs import (
+    config_hdd_1080ti,
+    config_high_cpu_v100,
+    config_ssd_v100,
+    get_server_config,
+)
+from repro.cluster.network import NetworkLink, forty_gbps_ethernet, ten_gbps_ethernet
+from repro.cluster.server import ServerConfig
+
+__all__ = [
+    "ServerConfig",
+    "NetworkLink",
+    "forty_gbps_ethernet",
+    "ten_gbps_ethernet",
+    "config_ssd_v100",
+    "config_hdd_1080ti",
+    "config_high_cpu_v100",
+    "get_server_config",
+]

@@ -1,0 +1,81 @@
+"""The two server SKUs of the paper (Table 2) plus AWS-style variants.
+
+* ``Config-SSD-V100``: 8x V100 (32 GB), SATA SSD (530 MB/s random reads),
+  24 physical cores, 500 GiB DRAM, 40 Gbps Ethernet — closest to AWS
+  p3.16xlarge with gp2 storage.
+* ``Config-HDD-1080Ti``: 8x GTX 1080Ti (11 GB), magnetic HDD (15–50 MB/s),
+  same CPU/DRAM/NIC — closest to AWS p2.8xlarge with st1 storage.
+* ``high-cpu`` variant: 8x V100 with 32 physical cores / 64 vCPUs, the
+  AWS-style SKU analysed in Appendix B.1 / D.5.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.cluster.network import forty_gbps_ethernet
+from repro.cluster.server import ServerConfig
+from repro.compute.gpu import GTX_1080TI, V100
+from repro.exceptions import ConfigurationError
+from repro.storage.device import hdd, sata_ssd
+
+
+def config_ssd_v100(cache_bytes: float | None = None) -> ServerConfig:
+    """Config-SSD-V100 of Table 2 (default cache budget: 400 GiB of 500 GiB)."""
+    return ServerConfig(
+        name="Config-SSD-V100",
+        gpu=V100,
+        num_gpus=8,
+        physical_cores=24,
+        vcpus=48,
+        dram_bytes=units.GiB(500),
+        cache_bytes=units.GiB(400) if cache_bytes is None else cache_bytes,
+        storage=sata_ssd(),
+        network=forty_gbps_ethernet(),
+    )
+
+
+def config_hdd_1080ti(cache_bytes: float | None = None) -> ServerConfig:
+    """Config-HDD-1080Ti of Table 2 (default cache budget: 400 GiB of 500 GiB)."""
+    return ServerConfig(
+        name="Config-HDD-1080Ti",
+        gpu=GTX_1080TI,
+        num_gpus=8,
+        physical_cores=24,
+        vcpus=48,
+        dram_bytes=units.GiB(500),
+        cache_bytes=units.GiB(400) if cache_bytes is None else cache_bytes,
+        storage=hdd(),
+        network=forty_gbps_ethernet(),
+    )
+
+
+def config_high_cpu_v100(cache_bytes: float | None = None) -> ServerConfig:
+    """AWS-style 8x V100 server with 32 cores / 64 vCPUs (Appendix B.1)."""
+    return ServerConfig(
+        name="Config-SSD-V100-64vCPU",
+        gpu=V100,
+        num_gpus=8,
+        physical_cores=32,
+        vcpus=64,
+        dram_bytes=units.GiB(500),
+        cache_bytes=units.GiB(400) if cache_bytes is None else cache_bytes,
+        storage=sata_ssd(),
+        network=forty_gbps_ethernet(),
+    )
+
+
+_CONFIGS = {
+    "config-ssd-v100": config_ssd_v100,
+    "config-hdd-1080ti": config_hdd_1080ti,
+    "config-ssd-v100-64vcpu": config_high_cpu_v100,
+}
+
+
+def get_server_config(name: str, cache_bytes: float | None = None) -> ServerConfig:
+    """Look up a server SKU by name, case-insensitively."""
+    try:
+        factory = _CONFIGS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_CONFIGS))
+        raise ConfigurationError(f"unknown server config {name!r}; known: {known}") from None
+    return factory(cache_bytes)

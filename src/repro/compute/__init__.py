@@ -1,0 +1,44 @@
+"""Compute substrate: GPU specs and the calibrated model zoo."""
+
+from repro.compute.gpu import GTX_1080TI, V100, GPUSpec, get_gpu
+from repro.compute.model_zoo import (
+    ALEXNET,
+    ALL_STALL_MODELS,
+    AUDIO_M5,
+    BERT_LARGE,
+    GNMT,
+    IMAGE_MODELS,
+    MOBILENET_V2,
+    RESNET18,
+    RESNET50,
+    SHUFFLENET_V2,
+    SQUEEZENET,
+    SSD_RES18,
+    VGG11,
+    ModelSpec,
+    get_model,
+    model_names,
+)
+
+__all__ = [
+    "GPUSpec",
+    "V100",
+    "GTX_1080TI",
+    "get_gpu",
+    "ModelSpec",
+    "get_model",
+    "model_names",
+    "IMAGE_MODELS",
+    "ALL_STALL_MODELS",
+    "SHUFFLENET_V2",
+    "ALEXNET",
+    "RESNET18",
+    "SQUEEZENET",
+    "MOBILENET_V2",
+    "RESNET50",
+    "VGG11",
+    "SSD_RES18",
+    "AUDIO_M5",
+    "BERT_LARGE",
+    "GNMT",
+]

@@ -1,0 +1,88 @@
+"""GPU device models.
+
+Only two properties of a GPU matter for data-stall analysis: how fast it can
+consume pre-processed minibatches for a given model (captured per-model in the
+model zoo as a V100-relative rate), and how much memory it has (which bounds
+batch size and whether DALI's GPU-prep mode fits).  The paper's two server
+SKUs use V100 (32 GB, tensor cores, mixed precision) and GTX 1080Ti (11 GB,
+full precision) parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU model.
+
+    Attributes:
+        name: Marketing name.
+        memory_bytes: Device memory.
+        compute_scale: Training throughput relative to a V100 running the
+            same model (V100 = 1.0).  The 1080Ti value reflects the paper's
+            full-precision configuration on that SKU.
+        gpu_prep_scale: Relative speed at DALI's offloaded prep kernels
+            (nvJPEG decode + CUDA augmentations).
+        supports_mixed_precision: Whether tensor-core mixed precision is used
+            (V100 with Apex/LARC in the paper).
+    """
+
+    name: str
+    memory_bytes: float
+    compute_scale: float
+    gpu_prep_scale: float
+    supports_mixed_precision: bool
+
+    def __post_init__(self) -> None:
+        if self.compute_scale <= 0 or self.gpu_prep_scale <= 0:
+            raise ConfigurationError("GPU scales must be positive")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("GPU memory must be positive")
+
+    def scaled(self, factor: float, name: str | None = None) -> "GPUSpec":
+        """A hypothetical GPU ``factor``x faster at compute.
+
+        DS-Analyzer's what-if analysis ("what if GPUs get 2x faster?") uses
+        this to construct future hardware points.
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return GPUSpec(
+            name=name or f"{self.name}-x{factor:g}",
+            memory_bytes=self.memory_bytes,
+            compute_scale=self.compute_scale * factor,
+            gpu_prep_scale=self.gpu_prep_scale * factor,
+            supports_mixed_precision=self.supports_mixed_precision,
+        )
+
+
+V100 = GPUSpec(
+    name="V100",
+    memory_bytes=units.GiB(32),
+    compute_scale=1.0,
+    gpu_prep_scale=1.0,
+    supports_mixed_precision=True,
+)
+
+GTX_1080TI = GPUSpec(
+    name="1080Ti",
+    memory_bytes=units.GiB(11),
+    compute_scale=0.25,
+    gpu_prep_scale=0.55,
+    supports_mixed_precision=False,
+)
+
+_GPUS = {g.name.lower(): g for g in (V100, GTX_1080TI)}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU by name ("V100", "1080Ti"), case-insensitively."""
+    try:
+        return _GPUS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(f"unknown GPU {name!r}") from None

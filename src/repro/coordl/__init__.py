@@ -1,0 +1,36 @@
+"""CoorDL: coordinated data loading (MinIO, partitioned caching, coordinated prep)."""
+
+from repro.coordl.coordinated_prep import (
+    BatchAssignment,
+    CoordinatedEpochRunner,
+    CoordinatedPrepPlan,
+)
+from repro.coordl.failure import (
+    FailureDetector,
+    FailureEvent,
+    JobState,
+    RecoveryAction,
+    TimeoutReport,
+)
+from repro.coordl.loader import CoorDL, HPSearchSession
+from repro.coordl.minio_loader import CoorDLLoader, best_coordl_loader
+from repro.coordl.partitioned_loader import PartitionedCoorDLLoader
+from repro.coordl.staging import StagedBatch, StagingArea
+
+__all__ = [
+    "CoorDL",
+    "CoorDLLoader",
+    "best_coordl_loader",
+    "PartitionedCoorDLLoader",
+    "HPSearchSession",
+    "CoordinatedPrepPlan",
+    "CoordinatedEpochRunner",
+    "BatchAssignment",
+    "StagingArea",
+    "StagedBatch",
+    "FailureDetector",
+    "FailureEvent",
+    "TimeoutReport",
+    "JobState",
+    "RecoveryAction",
+]

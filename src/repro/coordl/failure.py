@@ -1,0 +1,165 @@
+"""Failure detection for coordinated prep (Sec. 4.3 / 4.4).
+
+With coordinated prep, each HP-search job is responsible for pre-processing a
+shard of the dataset; if one job dies mid-epoch, every other job eventually
+stalls waiting for the minibatches that job owed.  CoorDL's failure-detection
+module works as follows:
+
+* every consumption from the staging area has a timeout (10x the iteration
+  time by default);
+* a job that times out reports the batch id to the driver; from the shard
+  assignment the driver deterministically identifies the responsible producer;
+* the driver checks liveness — if the producer is alive it broadcasts
+  "retry", otherwise it reassigns the failed shard to a replacement producer.
+
+This module provides the driver-side logic as an explicit state machine so it
+can be exercised deterministically in tests and in the HP-search simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.exceptions import ConfigurationError, JobFailedError
+
+
+class JobState(enum.Enum):
+    """Liveness state of one coordinated-prep job."""
+
+    RUNNING = "running"
+    SUSPECTED = "suspected"
+    DEAD = "dead"
+
+
+class RecoveryAction(enum.Enum):
+    """Driver decision after a timeout report."""
+
+    RETRY = "retry"              # producer alive: consumer should retry the fetch
+    RESPAWN = "respawn"          # producer dead: shard reassigned, consumer retries
+    NONE = "none"                # report was stale (batch already staged)
+
+
+@dataclass
+class TimeoutReport:
+    """A consumer's report that it waited too long for a staged batch."""
+
+    reporting_job: int
+    missing_batch_id: int
+    suspected_producer: int
+    reported_at: float
+
+
+@dataclass
+class FailureEvent:
+    """Record of one confirmed failure and its recovery."""
+
+    failed_job: int
+    detected_at: float
+    reassigned_to: int
+    missing_batch_id: int
+
+
+class FailureDetector:
+    """Driver-side failure detection and shard reassignment.
+
+    Args:
+        num_jobs: Jobs participating in coordinated prep.
+        iteration_time_s: Typical duration of one training iteration; the
+            report threshold is ``timeout_multiplier`` times this value.
+        timeout_multiplier: CoorDL uses 10x the iteration time (Sec. 4.4).
+        liveness_probe: Callable ``job -> bool`` consulted to verify whether
+            a suspected job is actually alive.  Defaults to "alive unless
+            previously marked dead", which is what the simulator overrides.
+    """
+
+    def __init__(self, num_jobs: int, iteration_time_s: float,
+                 timeout_multiplier: float = 10.0,
+                 liveness_probe: Optional[Callable[[int], bool]] = None) -> None:
+        if num_jobs <= 0:
+            raise ConfigurationError("need at least one job")
+        if iteration_time_s <= 0 or timeout_multiplier <= 0:
+            raise ConfigurationError("timeouts must be positive")
+        self._states: Dict[int, JobState] = {j: JobState.RUNNING for j in range(num_jobs)}
+        self._iteration_time_s = iteration_time_s
+        self._timeout_multiplier = timeout_multiplier
+        self._liveness_probe = liveness_probe
+        self._events: List[FailureEvent] = []
+        self._reports: List[TimeoutReport] = []
+
+    @property
+    def timeout_s(self) -> float:
+        """Wait duration after which a consumer files a report."""
+        return self._iteration_time_s * self._timeout_multiplier
+
+    @property
+    def events(self) -> List[FailureEvent]:
+        """Confirmed failures and their recoveries, in order."""
+        return list(self._events)
+
+    @property
+    def reports(self) -> List[TimeoutReport]:
+        """All timeout reports received."""
+        return list(self._reports)
+
+    def state(self, job: int) -> JobState:
+        """Current liveness state of a job."""
+        return self._states[job]
+
+    def alive_jobs(self) -> Set[int]:
+        """Jobs currently believed alive."""
+        return {j for j, s in self._states.items() if s != JobState.DEAD}
+
+    def mark_dead(self, job: int) -> None:
+        """External notification (e.g. the HP scheduler killed the job)."""
+        self._states[job] = JobState.DEAD
+
+    def _is_alive(self, job: int) -> bool:
+        if self._states[job] == JobState.DEAD:
+            return False
+        if self._liveness_probe is not None:
+            return self._liveness_probe(job)
+        return True
+
+    def report_timeout(self, report: TimeoutReport,
+                       batch_is_now_staged: bool = False) -> RecoveryAction:
+        """Handle a consumer's timeout report.
+
+        Args:
+            report: The consumer's description of what it is waiting for.
+            batch_is_now_staged: Whether the batch appeared while the report
+                was in flight (stale report).
+
+        Returns:
+            The action the consumer (and, for RESPAWN, the driver) must take.
+
+        Raises:
+            JobFailedError: if the failed shard cannot be reassigned because
+                no other job is alive.
+        """
+        self._reports.append(report)
+        if batch_is_now_staged:
+            return RecoveryAction.NONE
+        producer = report.suspected_producer
+        if self._is_alive(producer):
+            # Minor per-batch skew, not a failure: broadcast retry.
+            self._states[producer] = JobState.RUNNING
+            return RecoveryAction.RETRY
+        self._states[producer] = JobState.DEAD
+        replacement = self._pick_replacement(exclude=producer)
+        self._events.append(FailureEvent(
+            failed_job=producer,
+            detected_at=report.reported_at,
+            reassigned_to=replacement,
+            missing_batch_id=report.missing_batch_id,
+        ))
+        return RecoveryAction.RESPAWN
+
+    def _pick_replacement(self, exclude: int) -> int:
+        candidates = sorted(j for j in self.alive_jobs() if j != exclude)
+        if not candidates:
+            raise JobFailedError("no surviving job can take over the failed shard")
+        # Deterministic choice: the lowest-numbered surviving job spawns the
+        # replacement data-loading process for the orphaned shard.
+        return candidates[0]

@@ -1,0 +1,122 @@
+"""CoorDL distributed loader: partitioned caching across servers (Sec. 4.2).
+
+One :class:`PartitionedCoorDLLoader` instance represents the data pipeline of
+one *server* (rank) in a multi-server data-parallel job.  Local MinIO misses
+are routed to the remote server that caches the item (metadata directory in
+:class:`~repro.cache.partitioned.PartitionedCacheGroup`) over the TCP network
+link, and only fall back to local storage when no server caches the item.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.partitioned import LookupSource, PartitionedCacheGroup
+from repro.cluster.network import NetworkLink
+from repro.cluster.server import ServerConfig
+from repro.datasets.dataset import SyntheticDataset
+from repro.datasets.sampler import BatchSampler, DistributedSampler
+from repro.pipeline.base import BatchFetchResult, DataLoader
+from repro.prep.pipeline import PrepPipeline
+from repro.storage.filestore import FileStore
+
+
+class PartitionedCoorDLLoader(DataLoader):
+    """Per-server CoorDL loader participating in a partitioned cache group."""
+
+    name = "coordl-partitioned"
+
+    def __init__(self, *args, group: PartitionedCacheGroup, rank: int,
+                 network: NetworkLink, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._group = group
+        self._rank = rank
+        self._network = network
+
+    @property
+    def rank(self) -> int:
+        """This loader's server index within the distributed job."""
+        return self._rank
+
+    @property
+    def group(self) -> PartitionedCacheGroup:
+        """The job-wide partitioned cache group."""
+        return self._group
+
+    @classmethod
+    def build_group(cls, dataset: SyntheticDataset, servers: List[ServerConfig],
+                    batch_size: int, gpu_prep: bool = False,
+                    seed: int = 0) -> List["PartitionedCoorDLLoader"]:
+        """Build one loader per server, all sharing a partitioned cache group.
+
+        Args:
+            dataset: Dataset of the distributed job.
+            servers: Participating servers (one loader per entry).
+            batch_size: Per-server batch size (per-GPU batch x GPUs/server).
+            gpu_prep: Offload prep to the GPUs.
+            seed: Shared sampler/shard seed.
+        """
+        group = PartitionedCacheGroup(
+            dataset, [s.cache_bytes for s in servers], seed=seed)
+        group.populate_from_shards()
+        loaders: List[PartitionedCoorDLLoader] = []
+        for rank, server in enumerate(servers):
+            prep = PrepPipeline.for_task(dataset.spec.task, library="dali")
+            prep = prep.with_scaled_cost(dataset.spec.prep_cost_scale)
+            workers = server.worker_pool(gpu_offload=gpu_prep)
+            sampler = DistributedSampler(len(dataset), num_replicas=len(servers),
+                                         rank=rank, seed=seed)
+            loaders.append(cls(
+                dataset=dataset,
+                store=FileStore(dataset, server.storage),
+                cache=group.caches[rank],
+                batch_sampler=BatchSampler(sampler, batch_size),
+                prep=prep,
+                workers=workers,
+                num_gpus=server.num_gpus,
+                group=group,
+                rank=rank,
+                network=server.network,
+            ))
+        return loaders
+
+    def fetch_batch(self, batch: np.ndarray, at_time: float = 0.0) -> BatchFetchResult:
+        """Fetch one minibatch: local MinIO, then remote cache, then storage."""
+        duration = 0.0
+        hits = 0
+        misses = 0
+        disk_bytes = 0.0
+        cache_bytes = 0.0
+        remote_bytes = 0.0
+        for raw_id in batch:
+            item_id = int(raw_id)
+            lookup = self._group.lookup(self._rank, item_id)
+            size = lookup.size_bytes
+            if lookup.source is LookupSource.LOCAL_CACHE:
+                hits += 1
+                cache_bytes += size
+                duration += self._dram.read_time(size)
+                self._io.record_cache(size)
+            elif lookup.source is LookupSource.REMOTE_CACHE:
+                # A remote-cache hit avoids the fetch stall but is not a local
+                # cache hit; count it separately.
+                misses += 1
+                remote_bytes += size
+                duration += self._network.transfer_time(size)
+                self._io.record_remote(size)
+            else:
+                misses += 1
+                disk_bytes += size
+                duration += self._store.read_bytes(size, at_time=at_time + duration)
+                self._io.record_disk(size, at_time=at_time + duration)
+                self._group.admit_local(self._rank, item_id)
+        return BatchFetchResult(
+            duration_s=duration,
+            hits=hits,
+            misses=misses,
+            disk_bytes=disk_bytes,
+            cache_bytes=cache_bytes,
+            remote_bytes=remote_bytes,
+        )

@@ -1,0 +1,204 @@
+"""Cross-job minibatch staging area (Sec. 4.3).
+
+When several HP-search jobs train on the same dataset on one server, CoorDL
+pre-processes each minibatch exactly once and *stages* it in a memory region
+shared by all jobs.  Each staged minibatch carries a unique id and an atomic
+use counter; a job consumes a minibatch at most once per epoch, and the batch
+is evicted the moment every registered job has consumed it — which guarantees
+that no pre-processed data is ever reused across epochs (the random
+augmentations must be redrawn every epoch for accuracy).
+
+This module implements that data structure functionally: registration of
+consumer jobs, produce/consume with per-job exactly-once tracking, eviction on
+full consumption, peak-memory accounting (to validate the paper's claim that
+the staging area adds only a few GB of memory), and the timeout signal the
+failure detector builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, StagingTimeoutError
+
+
+@dataclass
+class StagedBatch:
+    """One pre-processed minibatch staged for cross-job sharing."""
+
+    batch_id: int
+    epoch: int
+    producer_job: int
+    item_ids: np.ndarray
+    prepared_bytes: float
+    ready_at: float
+    consumed_by: Set[int] = field(default_factory=set)
+
+    def fully_consumed(self, num_jobs: int) -> bool:
+        """Whether every registered job has used this batch exactly once."""
+        return len(self.consumed_by) >= num_jobs
+
+
+class StagingArea:
+    """Shared in-memory staging of prepared minibatches.
+
+    Args:
+        num_jobs: Number of concurrent jobs sharing the staging area.
+        batch_timeout_s: How long a consumer waits for a missing batch before
+            it reports a possible producer failure (the implementation uses
+            10x the iteration time, Sec. 4.4).
+    """
+
+    def __init__(self, num_jobs: int, batch_timeout_s: float = 60.0) -> None:
+        if num_jobs <= 0:
+            raise ConfigurationError("staging area needs at least one job")
+        if batch_timeout_s <= 0:
+            raise ConfigurationError("batch timeout must be positive")
+        self._num_jobs = num_jobs
+        self._timeout_s = batch_timeout_s
+        self._batches: Dict[int, StagedBatch] = {}
+        self._current_bytes = 0.0
+        self._peak_bytes = 0.0
+        self._produced = 0
+        self._evicted = 0
+        self._consumptions = 0
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of consumer jobs registered."""
+        return self._num_jobs
+
+    @property
+    def batch_timeout_s(self) -> float:
+        """Consumer wait timeout before reporting a possible failure."""
+        return self._timeout_s
+
+    @property
+    def staged_batches(self) -> int:
+        """Batches currently resident in the staging area."""
+        return len(self._batches)
+
+    @property
+    def current_bytes(self) -> float:
+        """Bytes of prepared data currently staged."""
+        return self._current_bytes
+
+    @property
+    def peak_bytes(self) -> float:
+        """High-water mark of staged bytes (the paper measures ~5 GB)."""
+        return self._peak_bytes
+
+    @property
+    def produced(self) -> int:
+        """Total batches ever staged."""
+        return self._produced
+
+    @property
+    def evicted(self) -> int:
+        """Total batches evicted after full consumption."""
+        return self._evicted
+
+    @property
+    def consumptions(self) -> int:
+        """Total (job, batch) consumption events."""
+        return self._consumptions
+
+    # -- producer side -----------------------------------------------------
+
+    def stage(self, batch_id: int, epoch: int, producer_job: int,
+              item_ids: Sequence[int], prepared_bytes: float,
+              now: float = 0.0) -> StagedBatch:
+        """Publish a prepared minibatch to all jobs.
+
+        Raises:
+            ConfigurationError: if the batch id is already staged (producers
+                must use unique ids within an epoch).
+        """
+        if batch_id in self._batches:
+            raise ConfigurationError(f"batch {batch_id} already staged")
+        staged = StagedBatch(
+            batch_id=batch_id,
+            epoch=epoch,
+            producer_job=producer_job,
+            item_ids=np.asarray(item_ids, dtype=np.int64),
+            prepared_bytes=prepared_bytes,
+            ready_at=now,
+        )
+        self._batches[batch_id] = staged
+        self._current_bytes += prepared_bytes
+        self._peak_bytes = max(self._peak_bytes, self._current_bytes)
+        self._produced += 1
+        return staged
+
+    # -- consumer side -----------------------------------------------------
+
+    def consume(self, job: int, batch_id: int, now: float = 0.0) -> StagedBatch:
+        """Record that ``job`` used a staged batch; evict when all jobs have.
+
+        Raises:
+            StagingTimeoutError: if the batch is not staged — the caller
+                translates this into a failure-detector notification.
+            ConfigurationError: if the job already consumed this batch (the
+                exactly-once-per-epoch invariant would be violated).
+        """
+        staged = self._batches.get(batch_id)
+        if staged is None:
+            raise StagingTimeoutError(
+                f"job {job} waited for batch {batch_id} which is not staged")
+        if job in staged.consumed_by:
+            raise ConfigurationError(
+                f"job {job} already consumed batch {batch_id} this epoch")
+        staged.consumed_by.add(job)
+        self._consumptions += 1
+        if staged.fully_consumed(self._num_jobs):
+            self._evict(batch_id)
+        return staged
+
+    def is_staged(self, batch_id: int) -> bool:
+        """Whether a batch is currently available."""
+        return batch_id in self._batches
+
+    def pending_for_job(self, job: int) -> List[int]:
+        """Batch ids staged but not yet consumed by ``job``."""
+        return [bid for bid, b in self._batches.items() if job not in b.consumed_by]
+
+    def wait_time_exceeded(self, waited_s: float) -> bool:
+        """Whether a consumer's wait has crossed the failure-report threshold."""
+        return waited_s >= self._timeout_s
+
+    # -- maintenance -------------------------------------------------------
+
+    def _evict(self, batch_id: int) -> None:
+        staged = self._batches.pop(batch_id)
+        self._current_bytes -= staged.prepared_bytes
+        self._evicted += 1
+
+    def drop_epoch(self, epoch: int) -> int:
+        """Drop any leftover batches of a finished epoch; returns the count.
+
+        Prepared data must never leak across epoch boundaries; the
+        coordinator calls this defensively when all jobs report epoch
+        completion.
+        """
+        stale = [bid for bid, b in self._batches.items() if b.epoch == epoch]
+        for bid in stale:
+            self._evict(bid)
+        return len(stale)
+
+    def remove_job(self, job: int) -> None:
+        """Deregister a job (killed by the HP-search algorithm).
+
+        Remaining batches only need consumption by the surviving jobs, so any
+        batch the departed job had not consumed may now be evictable.
+        """
+        if self._num_jobs <= 1:
+            raise ConfigurationError("cannot remove the last job")
+        self._num_jobs -= 1
+        for bid in list(self._batches):
+            if self._batches[bid].fully_consumed(self._num_jobs):
+                self._evict(bid)

@@ -1,0 +1,44 @@
+"""Synthetic datasets, samplers, and record layouts (substrate)."""
+
+from repro.datasets.catalog import (
+    FMA,
+    IMAGENET_1K,
+    IMAGENET_22K,
+    OPENIMAGES,
+    OPENIMAGES_DETECTION,
+    DatasetSpec,
+    dataset_names,
+    get_dataset_spec,
+)
+from repro.datasets.dataset import SyntheticDataset
+from repro.datasets.records import RecordChunk, RecordLayout
+from repro.datasets.sampler import (
+    BatchSampler,
+    DistributedSampler,
+    RandomSampler,
+    Sampler,
+    SequentialSampler,
+    ShuffleBufferSampler,
+    verify_epoch_invariant,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "SyntheticDataset",
+    "RecordChunk",
+    "RecordLayout",
+    "Sampler",
+    "SequentialSampler",
+    "RandomSampler",
+    "ShuffleBufferSampler",
+    "DistributedSampler",
+    "BatchSampler",
+    "verify_epoch_invariant",
+    "dataset_names",
+    "get_dataset_spec",
+    "IMAGENET_1K",
+    "IMAGENET_22K",
+    "OPENIMAGES",
+    "OPENIMAGES_DETECTION",
+    "FMA",
+]

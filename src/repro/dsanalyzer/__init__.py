@@ -1,0 +1,36 @@
+"""DS-Analyzer: differential data-stall profiling and what-if prediction."""
+
+from repro.dsanalyzer.predictor import Bottleneck, DataStallPredictor, Prediction
+from repro.dsanalyzer.profiler import DSAnalyzerProfiler, PipelineProfile
+from repro.dsanalyzer.report import (
+    format_prediction,
+    format_profile,
+    format_recommendation,
+    format_sweep,
+    summarize,
+)
+from repro.dsanalyzer.whatif import (
+    CacheSizeRecommendation,
+    cores_needed_per_gpu,
+    optimal_cache_fraction,
+    sweep_cache_fractions,
+    with_faster_gpu,
+)
+
+__all__ = [
+    "DSAnalyzerProfiler",
+    "PipelineProfile",
+    "DataStallPredictor",
+    "Prediction",
+    "Bottleneck",
+    "optimal_cache_fraction",
+    "sweep_cache_fractions",
+    "cores_needed_per_gpu",
+    "with_faster_gpu",
+    "CacheSizeRecommendation",
+    "format_profile",
+    "format_prediction",
+    "format_sweep",
+    "format_recommendation",
+    "summarize",
+]

@@ -1,0 +1,128 @@
+"""DS-Analyzer's predictive model (Sec. 3.4, Appendix C).
+
+Given the component rates measured by the profiler — GPU ingestion rate G,
+prep rate P, cache fetch rate C and storage fetch rate S — the predictor
+answers what-if questions without re-running experiments:
+
+* the effective fetch rate F for a cache holding ``x`` of the dataset
+  (Appendix C.2, Eqs. 3–4)::
+
+      T_f = D*x / C + D*(1-x) / S          F = D / T_f
+
+* the bottleneck classification ``min(F, P, G)`` (IO-, CPU- or GPU-bound);
+* the predicted training speed ``min(F, P, G)`` in samples/s;
+* stall fractions implied by the rates.
+
+The predictions assume an efficient cache (MinIO: a cache holding x of the
+dataset gives at least x hits per epoch); for the page-cache baselines the
+empirical thrashing penalty can be layered on via ``thrashing_factor``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dsanalyzer.profiler import PipelineProfile
+from repro.exceptions import ConfigurationError
+from repro.units import safe_div
+
+
+class Bottleneck(enum.Enum):
+    """Which pipeline component limits training throughput."""
+
+    GPU = "gpu-bound"
+    PREP = "cpu-bound"
+    FETCH = "io-bound"
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Predicted steady-state behaviour for one configuration."""
+
+    cache_fraction: float
+    fetch_rate: float
+    prep_rate: float
+    gpu_rate: float
+    training_speed: float
+    bottleneck: Bottleneck
+
+    @property
+    def fetch_stall_fraction(self) -> float:
+        """Fraction of epoch time spent stalled on I/O."""
+        limit = min(self.prep_rate, self.gpu_rate)
+        if self.fetch_rate >= limit:
+            return 0.0
+        return 1.0 - self.fetch_rate / limit
+
+    @property
+    def prep_stall_fraction(self) -> float:
+        """Fraction of epoch time spent stalled on prep (when not IO-bound)."""
+        if self.prep_rate >= self.gpu_rate:
+            return 0.0
+        if self.fetch_rate < self.prep_rate:
+            return 0.0  # IO hides the prep stall
+        return 1.0 - self.prep_rate / self.gpu_rate
+
+
+class DataStallPredictor:
+    """What-if predictions from a measured :class:`PipelineProfile`."""
+
+    def __init__(self, profile: PipelineProfile, thrashing_factor: float = 0.0) -> None:
+        if not 0.0 <= thrashing_factor < 1.0:
+            raise ConfigurationError("thrashing factor must be in [0, 1)")
+        self._profile = profile
+        self._thrashing_factor = thrashing_factor
+
+    @property
+    def profile(self) -> PipelineProfile:
+        """The measured component rates."""
+        return self._profile
+
+    def effective_fetch_rate(self, cache_fraction: float) -> float:
+        """Effective fetch rate F for a given cached fraction (Eq. 4).
+
+        With an efficient (MinIO-like) cache, a fraction ``x`` of each
+        epoch's requests is served from DRAM at rate C and the rest from
+        storage at rate S.  A non-zero ``thrashing_factor`` models a page
+        cache that loses that share of its hits to thrashing.
+        """
+        if not 0.0 <= cache_fraction <= 1.0:
+            raise ConfigurationError("cache fraction must be within [0, 1]")
+        x = cache_fraction * (1.0 - self._thrashing_factor)
+        cache_rate = self._profile.cache_rate
+        storage_rate = self._profile.storage_rate
+        # Per-sample fetch time is the weighted mean of cache and storage times.
+        time_per_sample = safe_div(x, cache_rate) + safe_div(1.0 - x, storage_rate)
+        if time_per_sample == 0.0:
+            return float("inf")
+        return 1.0 / time_per_sample
+
+    def predict(self, cache_fraction: float) -> Prediction:
+        """Predict training speed and bottleneck for a cache size."""
+        fetch = self.effective_fetch_rate(cache_fraction)
+        prep = self._profile.prep_rate
+        gpu = self._profile.gpu_rate
+        speed = min(fetch, prep, gpu)
+        if speed == gpu:
+            bottleneck = Bottleneck.GPU
+        elif speed == prep:
+            bottleneck = Bottleneck.PREP
+        else:
+            bottleneck = Bottleneck.FETCH
+        return Prediction(
+            cache_fraction=cache_fraction,
+            fetch_rate=fetch,
+            prep_rate=prep,
+            gpu_rate=gpu,
+            training_speed=speed,
+            bottleneck=bottleneck,
+        )
+
+    def predict_training_speed(self, cache_fraction: float) -> float:
+        """Predicted samples/second for a cache size (Table 5)."""
+        return self.predict(cache_fraction).training_speed
+
+    def epoch_time(self, cache_fraction: float, num_samples: int) -> float:
+        """Predicted epoch duration in seconds."""
+        return safe_div(num_samples, self.predict_training_speed(cache_fraction))

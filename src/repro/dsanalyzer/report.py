@@ -1,0 +1,76 @@
+"""Human-readable DS-Analyzer reports.
+
+Formats a :class:`~repro.dsanalyzer.profiler.PipelineProfile` and a set of
+predictions into the kind of summary DS-Analyzer prints for practitioners:
+component rates (in both samples/s and MB/s, Fig. 1 style), the current
+bottleneck, and the cache/CPU recommendations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dsanalyzer.predictor import DataStallPredictor, Prediction
+from repro.dsanalyzer.profiler import PipelineProfile
+from repro.dsanalyzer.whatif import CacheSizeRecommendation
+
+
+def format_profile(profile: PipelineProfile, title: str = "DS-Analyzer profile") -> str:
+    """Render the measured component rates as a small table."""
+    rows = [
+        ("GPU ingestion rate (G)", profile.gpu_rate),
+        ("Prep rate (P)", profile.prep_rate),
+        ("Storage fetch rate (S)", profile.storage_rate),
+        ("Cache fetch rate (C)", profile.cache_rate),
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'component':<28}{'samples/s':>14}{'MB/s':>12}")
+    for name, rate in rows:
+        lines.append(f"{name:<28}{rate:>14,.0f}{profile.rate_to_mbps(rate):>12,.0f}")
+    lines.append(f"{'GPUs':<28}{profile.num_gpus:>14d}")
+    lines.append(f"{'prep cores':<28}{profile.cores:>14.1f}")
+    return "\n".join(lines)
+
+
+def format_prediction(prediction: Prediction) -> str:
+    """Render one what-if prediction as a single line."""
+    return (
+        f"cache={prediction.cache_fraction:>5.0%}  "
+        f"F={prediction.fetch_rate:>10,.0f}  "
+        f"P={prediction.prep_rate:>10,.0f}  "
+        f"G={prediction.gpu_rate:>10,.0f}  "
+        f"speed={prediction.training_speed:>10,.0f} samples/s  "
+        f"[{prediction.bottleneck.value}]"
+    )
+
+
+def format_sweep(predictions: Sequence[Prediction],
+                 title: str = "Cache-size sweep") -> str:
+    """Render a cache-fraction sweep (Fig. 16)."""
+    lines: List[str] = [title, "-" * len(title)]
+    lines.extend(format_prediction(p) for p in predictions)
+    return "\n".join(lines)
+
+
+def format_recommendation(rec: CacheSizeRecommendation) -> str:
+    """Render the optimal-cache-size recommendation."""
+    gib = rec.optimal_cache_bytes / (1024 ** 3)
+    return (
+        f"Recommended cache: {rec.optimal_cache_fraction:.0%} of the dataset "
+        f"({gib:.1f} GiB); beyond this training is {rec.bottleneck_beyond_optimum.value} "
+        f"at {rec.speed_at_optimum:,.0f} samples/s."
+    )
+
+
+def summarize(predictor: DataStallPredictor, cache_fraction: float) -> str:
+    """One-paragraph summary for a specific cache size."""
+    prediction = predictor.predict(cache_fraction)
+    profile = predictor.profile
+    return "\n".join([
+        format_profile(profile),
+        "",
+        format_prediction(prediction),
+        "",
+        f"Fetch stall: {prediction.fetch_stall_fraction:.0%} of epoch time; "
+        f"prep stall: {prediction.prep_stall_fraction:.0%} of epoch time.",
+    ])

@@ -1,0 +1,113 @@
+"""What-if analyses built on the DS-Analyzer predictor (Sec. 3.4, App. C.2).
+
+These helpers answer the questions the paper motivates DS-Analyzer with:
+
+* *How much DRAM cache does this model need to mask fetch stalls?*
+  (:func:`optimal_cache_fraction`) — beyond that point more DRAM is wasted
+  because training becomes CPU- or GPU-bound.
+* *How many CPU cores per GPU mask the prep stall?*
+  (:func:`cores_needed_per_gpu`).
+* *What happens if GPUs get k times faster?* (:func:`with_faster_gpu`) —
+  faster compute without a faster data pipeline only grows the stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.server import ServerConfig
+from repro.compute.model_zoo import ModelSpec
+from repro.datasets.dataset import SyntheticDataset
+from repro.dsanalyzer.predictor import Bottleneck, DataStallPredictor, Prediction
+from repro.dsanalyzer.profiler import DSAnalyzerProfiler, PipelineProfile
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheSizeRecommendation:
+    """Answer to "how much cache does this model need?"."""
+
+    optimal_cache_fraction: float
+    optimal_cache_bytes: float
+    speed_at_optimum: float
+    bottleneck_beyond_optimum: Bottleneck
+    sweep: List[Prediction]
+
+
+def sweep_cache_fractions(predictor: DataStallPredictor,
+                          fractions: List[float]) -> List[Prediction]:
+    """Predictions for a list of cache fractions (Fig. 16's x-axis)."""
+    return [predictor.predict(f) for f in fractions]
+
+
+def optimal_cache_fraction(predictor: DataStallPredictor, dataset: SyntheticDataset,
+                           resolution: float = 0.05) -> CacheSizeRecommendation:
+    """Smallest cache fraction at which training stops being IO-bound.
+
+    Beyond this point additional DRAM does not improve training speed because
+    the bottleneck has moved to prep or to the GPU (Appendix C.2's example:
+    55 % of the dataset suffices for AlexNet on Config-SSD-V100).
+    """
+    if not 0 < resolution <= 0.5:
+        raise ConfigurationError("resolution must be in (0, 0.5]")
+    fractions = [round(resolution * i, 10) for i in range(int(1.0 / resolution) + 1)]
+    if fractions[-1] < 1.0:
+        fractions.append(1.0)
+    sweep = sweep_cache_fractions(predictor, fractions)
+    optimum = sweep[-1]
+    for prediction in sweep:
+        if prediction.bottleneck is not Bottleneck.FETCH:
+            optimum = prediction
+            break
+    return CacheSizeRecommendation(
+        optimal_cache_fraction=optimum.cache_fraction,
+        optimal_cache_bytes=dataset.total_bytes * optimum.cache_fraction,
+        speed_at_optimum=optimum.training_speed,
+        bottleneck_beyond_optimum=optimum.bottleneck,
+        sweep=sweep,
+    )
+
+
+def cores_needed_per_gpu(model: ModelSpec, dataset: SyntheticDataset,
+                         server: ServerConfig, max_cores_per_gpu: int = 32,
+                         gpu_prep: bool = False, library: str = "dali") -> int:
+    """Fewest prep cores per GPU that eliminate the prep stall (Fig. 4).
+
+    Returns ``max_cores_per_gpu`` when even that many cores cannot keep up
+    (the paper's ResNet18/AlexNet case on V100s).
+    """
+    if max_cores_per_gpu <= 0:
+        raise ConfigurationError("max cores per GPU must be positive")
+    profiler = DSAnalyzerProfiler(model, dataset, server, gpu_prep=gpu_prep,
+                                  library=library)
+    gpu_rate_one = model.gpu_rate(server.gpu, gpu_prep_active=gpu_prep)
+    for cores in range(1, max_cores_per_gpu + 1):
+        prep_rate = profiler.measure_prep_rate(cores=min(cores, server.physical_cores),
+                                               num_gpus=1)
+        # Scale linearly for hypothetical core counts beyond the server's.
+        if cores > server.physical_cores:
+            prep_rate = prep_rate * cores / server.physical_cores
+        if prep_rate >= gpu_rate_one:
+            return cores
+    return max_cores_per_gpu
+
+
+def with_faster_gpu(profile: PipelineProfile, speedup: float) -> PipelineProfile:
+    """Profile of the same pipeline with ``speedup``x faster GPUs.
+
+    Only the ingestion rate G changes; fetch and prep rates are properties of
+    the storage and CPUs.  Feeding the result to the predictor shows how data
+    stalls worsen as GPUs get faster (the paper's forward-looking argument).
+    """
+    if speedup <= 0:
+        raise ConfigurationError("GPU speedup must be positive")
+    return PipelineProfile(
+        gpu_rate=profile.gpu_rate * speedup,
+        prep_rate=profile.prep_rate,
+        storage_rate=profile.storage_rate,
+        cache_rate=profile.cache_rate,
+        mean_item_bytes=profile.mean_item_bytes,
+        num_gpus=profile.num_gpus,
+        cores=profile.cores,
+    )

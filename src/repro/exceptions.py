@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or out-of-range values."""
+
+
+class CacheError(ReproError):
+    """Base class for cache-related failures."""
+
+
+class CacheCapacityError(CacheError):
+    """An item larger than the total cache capacity was offered to the cache."""
+
+
+class UnknownItemError(ReproError):
+    """A dataset item id was requested that does not exist in the dataset."""
+
+
+class StagingTimeoutError(ReproError):
+    """A job timed out waiting for a minibatch in the cross-job staging area."""
+
+
+class JobFailedError(ReproError):
+    """A coordinated-prep job died and could not be recovered."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ProfilingError(ReproError):
+    """DS-Analyzer could not complete a measurement phase."""

@@ -1,0 +1,17 @@
+"""Experiments: one module per paper figure/table, plus the registry."""
+
+from repro.experiments.base import (
+    DEFAULT_SCALE,
+    SWEEP_SCALE,
+    ExperimentResult,
+    scaled_cache_bytes,
+    scaled_dataset,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "scaled_dataset",
+    "scaled_cache_bytes",
+    "DEFAULT_SCALE",
+    "SWEEP_SCALE",
+]

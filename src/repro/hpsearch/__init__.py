@@ -1,0 +1,20 @@
+"""Hyperparameter-search substrate: Hyperband/successive-halving + campaigns."""
+
+from repro.hpsearch.campaign import CampaignResult, SearchCampaign
+from repro.hpsearch.scheduler import (
+    HyperbandScheduler,
+    Rung,
+    SuccessiveHalvingScheduler,
+    Trial,
+    sample_trials,
+)
+
+__all__ = [
+    "Trial",
+    "Rung",
+    "sample_trials",
+    "SuccessiveHalvingScheduler",
+    "HyperbandScheduler",
+    "SearchCampaign",
+    "CampaignResult",
+]

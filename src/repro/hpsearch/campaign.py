@@ -1,0 +1,120 @@
+"""End-to-end HP-search campaigns: scheduler x data pipeline (Fig. 23 setting).
+
+Appendix E.2.3 measures the wall-clock time of a Ray-Tune/Hyperband search
+over 16 (learning-rate, momentum) samples on one 8-GPU server, with the
+PyTorch DataLoader versus Py-CoorDL.  The search time is the number of
+per-trial epochs the scheduler demands multiplied by the per-epoch time the
+data pipeline can deliver when the GPUs are packed with concurrent trials.
+
+:class:`SearchCampaign` composes a scheduler from
+:mod:`repro.hpsearch.scheduler` with the per-epoch costs measured by
+:class:`repro.sim.hp_search.HPSearchScenario` to produce those wall-clock
+estimates for an arbitrary model/dataset/server/loader combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.server import ServerConfig
+from repro.compute.model_zoo import ModelSpec
+from repro.datasets.dataset import SyntheticDataset
+from repro.exceptions import ConfigurationError
+from repro.hpsearch.scheduler import Rung, SuccessiveHalvingScheduler, Trial, sample_trials
+from repro.sim.hp_search import HPSearchScenario
+from repro.units import safe_div
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one HP-search campaign under one data-loading configuration."""
+
+    loader_name: str
+    best_trial: Trial
+    total_trial_epochs: int
+    wall_clock_s: float
+    rungs: List[Rung]
+
+    @property
+    def best_accuracy(self) -> float:
+        """Validation accuracy of the winning configuration."""
+        return self.best_trial.last_accuracy
+
+
+class SearchCampaign:
+    """Hyperband-style search on one server, timed under DALI or CoorDL.
+
+    Args:
+        model: Model every trial trains.
+        dataset: Shared dataset.
+        server: Server the trials run on.
+        num_trials: Hyperparameter samples drawn (16 in the paper's Fig. 23).
+        concurrent_jobs: Trials running at once (one per GPU by default).
+        eta: Successive-halving elimination factor.
+        epochs_per_rung: Epochs between elimination decisions.
+        max_epochs_per_trial: Per-trial epoch budget.
+        seed: Seed for sampling and the accuracy trajectories.
+    """
+
+    def __init__(self, model: ModelSpec, dataset: SyntheticDataset,
+                 server: ServerConfig, num_trials: int = 16,
+                 concurrent_jobs: int | None = None, eta: int = 2,
+                 epochs_per_rung: int = 1, max_epochs_per_trial: int = 8,
+                 seed: int = 0) -> None:
+        if num_trials <= 0:
+            raise ConfigurationError("need at least one trial")
+        self._model = model
+        self._dataset = dataset
+        self._server = server
+        self._num_trials = num_trials
+        self._concurrent = concurrent_jobs or server.num_gpus
+        self._eta = eta
+        self._epochs_per_rung = epochs_per_rung
+        self._max_epochs = max_epochs_per_trial
+        self._seed = seed
+
+    def _per_trial_epoch_time(self, loader: str) -> float:
+        """Epoch time of one trial when the server is packed with trials."""
+        scenario = HPSearchScenario(self._model, self._dataset, self._server,
+                                    num_jobs=self._concurrent, gpus_per_job=1,
+                                    seed=self._seed)
+        if loader == "coordl":
+            return scenario.run_coordl().epoch_time_s
+        if loader == "dali":
+            return scenario.run_baseline(library="dali").epoch_time_s
+        if loader == "pytorch":
+            return scenario.run_baseline(library="pytorch").epoch_time_s
+        raise ConfigurationError(f"unknown loader {loader!r}")
+
+    def run(self, loader: str) -> CampaignResult:
+        """Run the scheduler and convert its demand into wall-clock time.
+
+        Trials run ``concurrent_jobs`` at a time; each wave of concurrently
+        training trials costs one per-trial epoch time per epoch, so the
+        wall-clock time is ``ceil(trials_in_rung / concurrent) x epochs x
+        epoch_time`` summed over rungs.
+        """
+        scheduler = SuccessiveHalvingScheduler(
+            eta=self._eta, min_epochs_per_rung=self._epochs_per_rung,
+            max_total_epochs_per_trial=self._max_epochs)
+        trials = sample_trials(self._num_trials, seed=self._seed)
+        best, rungs = scheduler.run(trials, seed=self._seed)
+        epoch_time = self._per_trial_epoch_time(loader)
+        wall_clock = 0.0
+        for rung in rungs:
+            waves = -(-rung.survivors_before // self._concurrent)  # ceil division
+            wall_clock += waves * rung.epochs * epoch_time
+        return CampaignResult(
+            loader_name=loader,
+            best_trial=best,
+            total_trial_epochs=scheduler.total_trial_epochs(rungs),
+            wall_clock_s=wall_clock,
+            rungs=rungs,
+        )
+
+    def speedup(self, baseline_loader: str = "dali") -> float:
+        """Wall-clock speedup of CoorDL over a baseline loader for this search."""
+        baseline = self.run(baseline_loader)
+        coordl = self.run("coordl")
+        return safe_div(baseline.wall_clock_s, coordl.wall_clock_s)

@@ -1,0 +1,209 @@
+"""Hyperparameter-search schedulers (the workload generator of Secs. 2 and 5.3).
+
+The paper's HP-search experiments launch several concurrent trials with
+different hyperparameters and periodically kill the worst performers at epoch
+boundaries (Hyperband / successive halving via Ray Tune, Appendix E.2.3).
+CoorDL's coordinated prep is compatible with exactly this pattern because
+trials only join or leave at epoch boundaries (Sec. 4.3).
+
+This module provides the scheduling substrate:
+
+* :class:`Trial` — one hyperparameter configuration with a deterministic,
+  hyperparameter-dependent accuracy trajectory (a noisy saturating curve, so
+  "better" configurations genuinely win);
+* :class:`SuccessiveHalvingScheduler` — keeps the best ``1/eta`` of the
+  surviving trials at each rung;
+* :class:`HyperbandScheduler` — the standard bracket construction over
+  successive halving.
+
+The search drivers in :mod:`repro.hpsearch.campaign` combine these schedulers
+with the data-pipeline timing from :class:`repro.sim.hp_search.HPSearchScenario`
+to estimate end-to-end search times with DALI versus CoorDL (Fig. 23).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class Trial:
+    """One hyperparameter configuration being evaluated.
+
+    Attributes:
+        trial_id: Dense identifier.
+        learning_rate: Learning rate of the trial.
+        momentum: Momentum of the trial.
+        epochs_trained: Epochs completed so far.
+        last_accuracy: Validation accuracy after the last completed epoch.
+        alive: Whether the scheduler still runs this trial.
+    """
+
+    trial_id: int
+    learning_rate: float
+    momentum: float
+    epochs_trained: int = 0
+    last_accuracy: float = 0.0
+    alive: bool = True
+
+    def _quality(self) -> float:
+        """Intrinsic quality of this configuration in (0, 1).
+
+        Peaks near the conventional (lr=0.1, momentum=0.9) setting and decays
+        log-smoothly away from it, so schedulers have a real signal to rank on.
+        """
+        lr_penalty = abs(math.log10(self.learning_rate) - math.log10(0.1))
+        momentum_penalty = abs(self.momentum - 0.9) * 2.0
+        return max(0.05, 1.0 - 0.35 * lr_penalty - momentum_penalty * 0.4)
+
+    def train_one_epoch(self, rng: np.random.Generator) -> float:
+        """Advance the trial by one epoch and return the new accuracy."""
+        if not self.alive:
+            raise ConfigurationError(f"trial {self.trial_id} was already stopped")
+        self.epochs_trained += 1
+        quality = self._quality()
+        asymptote = 0.5 + 0.3 * quality
+        tau = 6.0 + 6.0 * (1.0 - quality)
+        noise = rng.normal(0.0, 0.004)
+        self.last_accuracy = max(
+            0.0, asymptote * (1.0 - math.exp(-self.epochs_trained / tau)) + noise)
+        return self.last_accuracy
+
+
+def sample_trials(num_trials: int, seed: int = 0) -> List[Trial]:
+    """Draw ``num_trials`` (learning-rate, momentum) configurations."""
+    if num_trials <= 0:
+        raise ConfigurationError("need at least one trial")
+    rng = np.random.default_rng(seed)
+    trials = []
+    for trial_id in range(num_trials):
+        trials.append(Trial(
+            trial_id=trial_id,
+            learning_rate=float(10 ** rng.uniform(-3.0, 0.0)),
+            momentum=float(rng.uniform(0.5, 0.99)),
+        ))
+    return trials
+
+
+@dataclass
+class Rung:
+    """One elimination round: every surviving trial trains ``epochs`` epochs."""
+
+    epochs: int
+    survivors_before: int
+    survivors_after: int
+
+
+class SuccessiveHalvingScheduler:
+    """Successive halving: train, rank, keep the top ``1/eta``; repeat.
+
+    Args:
+        eta: Elimination factor (3 is the Hyperband default).
+        min_epochs_per_rung: Epochs each surviving trial trains before the
+            next elimination (decisions happen at epoch boundaries only,
+            which is what coordinated prep requires).
+        max_total_epochs_per_trial: Stop once a trial has trained this much.
+    """
+
+    def __init__(self, eta: int = 3, min_epochs_per_rung: int = 1,
+                 max_total_epochs_per_trial: int = 27) -> None:
+        if eta < 2:
+            raise ConfigurationError("eta must be at least 2")
+        if min_epochs_per_rung <= 0 or max_total_epochs_per_trial <= 0:
+            raise ConfigurationError("epoch budgets must be positive")
+        self._eta = eta
+        self._epochs_per_rung = min_epochs_per_rung
+        self._max_epochs = max_total_epochs_per_trial
+
+    @property
+    def eta(self) -> int:
+        """Elimination factor."""
+        return self._eta
+
+    def run(self, trials: Sequence[Trial], seed: int = 0) -> Tuple[Trial, List[Rung]]:
+        """Run the search to completion; returns (best trial, rung history)."""
+        if not trials:
+            raise ConfigurationError("need at least one trial")
+        rng = np.random.default_rng(seed)
+        alive = list(trials)
+        rungs: List[Rung] = []
+        while len(alive) > 1 and alive[0].epochs_trained < self._max_epochs:
+            epochs_this_rung = min(self._epochs_per_rung,
+                                   self._max_epochs - alive[0].epochs_trained)
+            for _ in range(epochs_this_rung):
+                for trial in alive:
+                    trial.train_one_epoch(rng)
+            survivors = max(1, len(alive) // self._eta)
+            ranked = sorted(alive, key=lambda t: t.last_accuracy, reverse=True)
+            for loser in ranked[survivors:]:
+                loser.alive = False
+            rungs.append(Rung(epochs=epochs_this_rung,
+                              survivors_before=len(alive),
+                              survivors_after=survivors))
+            alive = ranked[:survivors]
+        # Train the finalists out to the budget so the winner is well measured.
+        while alive and alive[0].epochs_trained < self._max_epochs:
+            for trial in alive:
+                trial.train_one_epoch(rng)
+            rungs.append(Rung(epochs=1, survivors_before=len(alive),
+                              survivors_after=len(alive)))
+        best = max(alive, key=lambda t: t.last_accuracy)
+        return best, rungs
+
+    def total_trial_epochs(self, rungs: Sequence[Rung]) -> int:
+        """Sum of (trials x epochs) over the whole search — the work done."""
+        return sum(r.epochs * r.survivors_before for r in rungs)
+
+
+class HyperbandScheduler:
+    """Hyperband: several successive-halving brackets with different budgets.
+
+    Args:
+        max_epochs_per_trial: R in the Hyperband paper.
+        eta: Elimination factor shared by all brackets.
+    """
+
+    def __init__(self, max_epochs_per_trial: int = 27, eta: int = 3) -> None:
+        if max_epochs_per_trial <= 0:
+            raise ConfigurationError("max epochs must be positive")
+        self._max_epochs = max_epochs_per_trial
+        self._eta = eta
+        self._s_max = int(math.floor(math.log(max_epochs_per_trial, eta)))
+
+    @property
+    def num_brackets(self) -> int:
+        """Number of successive-halving brackets Hyperband will run."""
+        return self._s_max + 1
+
+    def bracket_sizes(self) -> List[Tuple[int, int]]:
+        """(initial trials, initial epochs-per-rung) for each bracket."""
+        sizes = []
+        for s in range(self._s_max, -1, -1):
+            n = int(math.ceil((self._s_max + 1) * (self._eta ** s) / (s + 1)))
+            r = max(1, int(self._max_epochs / (self._eta ** s)))
+            sizes.append((n, r))
+        return sizes
+
+    def run(self, seed: int = 0) -> Tuple[Trial, int, Dict[int, List[Rung]]]:
+        """Run all brackets; returns (best trial, total trial-epochs, rungs)."""
+        best: Trial | None = None
+        total_epochs = 0
+        all_rungs: Dict[int, List[Rung]] = {}
+        for bracket, (num_trials, epochs_per_rung) in enumerate(self.bracket_sizes()):
+            scheduler = SuccessiveHalvingScheduler(
+                eta=self._eta, min_epochs_per_rung=epochs_per_rung,
+                max_total_epochs_per_trial=self._max_epochs)
+            trials = sample_trials(num_trials, seed=seed + bracket * 1000)
+            winner, rungs = scheduler.run(trials, seed=seed + bracket)
+            all_rungs[bracket] = rungs
+            total_epochs += scheduler.total_trial_epochs(rungs)
+            if best is None or winner.last_accuracy > best.last_accuracy:
+                best = winner
+        assert best is not None
+        return best, total_epochs, all_rungs

@@ -1,0 +1,16 @@
+"""Data-loader layer: the shared abstraction and the DALI/PyTorch baselines."""
+
+from repro.pipeline.base import BatchFetchResult, DataLoader
+from repro.pipeline.dali import DALILoader, best_dali_loader
+from repro.pipeline.pytorch_native import PyTorchNativeLoader
+from repro.pipeline.stats import EpochStats, TrainingRunStats
+
+__all__ = [
+    "DataLoader",
+    "BatchFetchResult",
+    "DALILoader",
+    "best_dali_loader",
+    "PyTorchNativeLoader",
+    "EpochStats",
+    "TrainingRunStats",
+]

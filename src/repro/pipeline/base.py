@@ -1,0 +1,194 @@
+"""Data-loader abstraction shared by the baselines and CoorDL.
+
+A loader owns the *policy* side of the data pipeline for one training job on
+one server: which order items are visited in (sampler), which cache the items
+pass through, which prep pipeline and worker pool process them, and which
+storage device serves misses.  The simulation engine
+(:mod:`repro.sim.engine`) asks the loader for per-batch fetch/prep durations
+and drives the pipelined timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.base import Cache
+from repro.datasets.dataset import SyntheticDataset
+from repro.datasets.sampler import BatchSampler
+from repro.prep.pipeline import PrepPipeline
+from repro.prep.workers import WorkerPool
+from repro.storage.device import StorageDevice, dram
+from repro.storage.filestore import FileStore
+from repro.storage.iostats import IOStats
+
+
+@dataclass
+class BatchFetchResult:
+    """Outcome of fetching one minibatch."""
+
+    duration_s: float
+    hits: int
+    misses: int
+    disk_bytes: float
+    cache_bytes: float
+    remote_bytes: float = 0.0
+
+
+class DataLoader:
+    """Base loader: cache-mediated fetch + CPU/GPU prep over a file store.
+
+    Args:
+        dataset: Dataset being trained on.
+        store: File store (dataset + storage device) serving cache misses.
+        cache: Cache the fetch path goes through.
+        batch_sampler: Per-epoch batch order.
+        prep: Pre-processing pipeline (cost model).
+        workers: CPU worker pool (and GPU offload setting) used for prep.
+        num_gpus: GPUs consuming this loader's output (used only to size GPU
+            prep offload capacity).
+        dram_device: Device model used to charge cache hits.
+        sequential_storage: Whether misses are charged at sequential read
+            bandwidth (DALI-seq / record files) instead of random-read.
+    """
+
+    name = "base"
+
+    def __init__(self, dataset: SyntheticDataset, store: FileStore, cache: Cache,
+                 batch_sampler: BatchSampler, prep: PrepPipeline, workers: WorkerPool,
+                 num_gpus: int = 1, dram_device: Optional[StorageDevice] = None,
+                 sequential_storage: bool = False) -> None:
+        self._dataset = dataset
+        self._store = store
+        self._cache = cache
+        self._batch_sampler = batch_sampler
+        self._prep = prep
+        self._workers = workers
+        self._num_gpus = num_gpus
+        self._dram = dram_device or dram()
+        self._sequential_storage = sequential_storage
+        self._io = IOStats()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def dataset(self) -> SyntheticDataset:
+        """Dataset being loaded."""
+        return self._dataset
+
+    @property
+    def cache(self) -> Cache:
+        """Cache the fetch path goes through."""
+        return self._cache
+
+    @property
+    def store(self) -> FileStore:
+        """Backing file store."""
+        return self._store
+
+    @property
+    def batch_sampler(self) -> BatchSampler:
+        """Per-epoch batch order."""
+        return self._batch_sampler
+
+    @property
+    def prep(self) -> PrepPipeline:
+        """Pre-processing cost model."""
+        return self._prep
+
+    @property
+    def workers(self) -> WorkerPool:
+        """CPU worker pool used for prep."""
+        return self._workers
+
+    @property
+    def num_gpus(self) -> int:
+        """GPUs consuming this loader's output."""
+        return self._num_gpus
+
+    @property
+    def io(self) -> IOStats:
+        """Cumulative I/O accounting for this loader."""
+        return self._io
+
+    def batch_size(self) -> int:
+        """Per-iteration batch size."""
+        return self._batch_sampler.batch_size
+
+    def batches(self, epoch_index: int) -> List[np.ndarray]:
+        """Minibatches (item-id arrays) for one epoch."""
+        return self._batch_sampler.epoch(epoch_index)
+
+    # -- fetch / prep ------------------------------------------------------
+
+    def should_admit_on_miss(self, item_id: int) -> bool:
+        """Whether a missed item is offered to the cache (policy hook)."""
+        return True
+
+    def fetch_batch(self, batch: np.ndarray, at_time: float = 0.0) -> BatchFetchResult:
+        """Fetch one minibatch through the cache, charging device times.
+
+        Mutates the cache (recency updates, admissions) and the I/O
+        accounting; returns the wall-clock duration of the fetch.
+        """
+        duration = 0.0
+        hits = 0
+        misses = 0
+        disk_bytes = 0.0
+        cache_bytes = 0.0
+        for raw_id in batch:
+            item_id = int(raw_id)
+            size = self._dataset.item_size(item_id)
+            if self._cache.lookup(item_id):
+                hits += 1
+                cache_bytes += size
+                duration += self._dram.read_time(size)
+                self._io.record_cache(size)
+            else:
+                misses += 1
+                disk_bytes += size
+                duration += self._store.read_bytes(
+                    size, at_time=at_time + duration,
+                    sequential=self._sequential_storage)
+                self._io.record_disk(size, at_time=at_time + duration)
+                if self.should_admit_on_miss(item_id):
+                    self._cache.admit(item_id, size)
+        return BatchFetchResult(
+            duration_s=duration,
+            hits=hits,
+            misses=misses,
+            disk_bytes=disk_bytes,
+            cache_bytes=cache_bytes,
+        )
+
+    def cached_fetch_time(self, batch: np.ndarray) -> float:
+        """Fetch duration if every item of the batch were in DRAM.
+
+        Used by the differential stall attribution (DS-Analyzer phase 2).
+        """
+        total_bytes = self._dataset.items_size(batch)
+        return self._dram.read_time(total_bytes)
+
+    def prep_batch_time(self, batch: np.ndarray) -> float:
+        """Wall-clock seconds to pre-process one minibatch."""
+        total_bytes = float(self._dataset.items_size(batch))
+        return self._workers.prep_time_for_batch(
+            self._prep, total_bytes, len(batch),
+            num_gpus_for_offload=self._num_gpus)
+
+    def prep_rate(self) -> float:
+        """Steady-state prep throughput in samples/second."""
+        return self._workers.prep_rate(
+            self._prep, self._dataset.mean_item_bytes,
+            num_gpus_for_offload=self._num_gpus)
+
+    @property
+    def uses_gpu_prep(self) -> bool:
+        """Whether DALI-style GPU prep offload is active."""
+        return self._workers.gpu_offload
+
+    def reset_io(self) -> None:
+        """Clear per-epoch I/O accounting."""
+        self._io = IOStats()

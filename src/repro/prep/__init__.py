@@ -1,0 +1,26 @@
+"""Pre-processing substrate: transform costs, pipelines, worker pools."""
+
+from repro.prep.pipeline import PrepCost, PrepPipeline
+from repro.prep.transforms import (
+    Transform,
+    audio_pipeline,
+    dali_image_pipeline,
+    detection_pipeline,
+    expansion_factor,
+    pillow_image_pipeline,
+    pipeline_for_task,
+)
+from repro.prep.workers import WorkerPool
+
+__all__ = [
+    "Transform",
+    "PrepPipeline",
+    "PrepCost",
+    "WorkerPool",
+    "dali_image_pipeline",
+    "pillow_image_pipeline",
+    "audio_pipeline",
+    "detection_pipeline",
+    "pipeline_for_task",
+    "expansion_factor",
+]

@@ -1,0 +1,115 @@
+"""Pre-processing pipeline: combines transform stages into per-sample costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.prep.transforms import Transform, expansion_factor, pipeline_for_task
+
+
+@dataclass(frozen=True)
+class PrepCost:
+    """CPU/GPU split of the cost of prepping one sample."""
+
+    cpu_core_seconds: float
+    gpu_seconds: float
+
+    def total(self) -> float:
+        """Sum of CPU and GPU work (used only for reporting)."""
+        return self.cpu_core_seconds + self.gpu_seconds
+
+
+class PrepPipeline:
+    """An ordered list of transforms applied to every sample.
+
+    Args:
+        stages: Transform stages in application order.
+        task: Task family, used for the decoded-size expansion factor.
+        gpu_offload_efficiency: When a stage is offloaded to the GPU, one
+            second of CPU work becomes ``gpu_offload_efficiency`` seconds of
+            GPU work (GPUs decode JPEGs several times faster than a core).
+    """
+
+    def __init__(self, stages: Sequence[Transform], task: str = "image_classification",
+                 gpu_offload_efficiency: float = 0.25) -> None:
+        if not stages:
+            raise ConfigurationError("a prep pipeline needs at least one stage")
+        if gpu_offload_efficiency <= 0:
+            raise ConfigurationError("offload efficiency must be positive")
+        self._stages = tuple(stages)
+        self._task = task
+        self._gpu_offload_efficiency = gpu_offload_efficiency
+
+    @classmethod
+    def for_task(cls, task: str, library: str = "dali") -> "PrepPipeline":
+        """Build the standard pipeline for a task and dataloader library."""
+        return cls(pipeline_for_task(task, library=library), task=task)
+
+    @property
+    def stages(self) -> Tuple[Transform, ...]:
+        """Transform stages in order."""
+        return self._stages
+
+    @property
+    def task(self) -> str:
+        """Task family this pipeline serves."""
+        return self._task
+
+    @property
+    def has_stochastic_stage(self) -> bool:
+        """True when any stage applies random augmentation.
+
+        If true, pre-processed output must be regenerated every epoch — the
+        correctness constraint behind coordinated prep's within-epoch-only
+        sharing (Sec. 4.3).
+        """
+        return any(stage.stochastic for stage in self._stages)
+
+    def sample_cost(self, raw_bytes: float, gpu_offload: bool = False) -> PrepCost:
+        """Cost of prepping one sample of the given raw size.
+
+        Args:
+            raw_bytes: Encoded on-disk size of the sample.
+            gpu_offload: Whether offloadable stages run on the GPU (DALI's
+                GPU-prep mode).
+        """
+        cpu = 0.0
+        gpu = 0.0
+        for stage in self._stages:
+            cost = stage.cpu_cost(raw_bytes)
+            if gpu_offload and stage.gpu_offloadable:
+                gpu += cost * self._gpu_offload_efficiency
+            else:
+                cpu += cost
+        return PrepCost(cpu_core_seconds=cpu, gpu_seconds=gpu)
+
+    def cpu_seconds_per_sample(self, raw_bytes: float, gpu_offload: bool = False) -> float:
+        """CPU core-seconds per sample (convenience wrapper)."""
+        return self.sample_cost(raw_bytes, gpu_offload=gpu_offload).cpu_core_seconds
+
+    def prepared_bytes(self, raw_bytes: float) -> float:
+        """Size of the pre-processed (decoded, augmented) sample in memory."""
+        return raw_bytes * expansion_factor(self._task)
+
+    def with_scaled_cost(self, scale: float) -> "PrepPipeline":
+        """Return a pipeline with every stage's cost multiplied by ``scale``.
+
+        Used to apply per-dataset prep-cost scaling (OpenImages images are
+        larger after decode than ImageNet's) without duplicating stage lists.
+        """
+        if scale <= 0:
+            raise ConfigurationError("cost scale must be positive")
+        scaled = tuple(
+            Transform(
+                name=s.name,
+                cpu_seconds_per_byte=s.cpu_seconds_per_byte * scale,
+                cpu_seconds_fixed=s.cpu_seconds_fixed * scale,
+                gpu_offloadable=s.gpu_offloadable,
+                stochastic=s.stochastic,
+            )
+            for s in self._stages
+        )
+        return PrepPipeline(scaled, task=self._task,
+                            gpu_offload_efficiency=self._gpu_offload_efficiency)

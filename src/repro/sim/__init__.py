@@ -1,0 +1,36 @@
+"""Simulation drivers: pipelined epoch engine and the three training scenarios."""
+
+from repro.sim.accuracy import (
+    AccuracyCurve,
+    TimeToAccuracyResult,
+    resnet50_imagenet_curve,
+    time_to_accuracy,
+)
+from repro.sim.distributed import DistributedEpoch, DistributedResult, DistributedTraining
+from repro.sim.engine import BatchTimes, PipelineSimulator, pipeline_makespan
+from repro.sim.hp_search import HPSearchResult, HPSearchScenario
+from repro.sim.single_server import (
+    LOADER_KINDS,
+    SingleServerResult,
+    SingleServerTraining,
+    build_loader,
+)
+
+__all__ = [
+    "PipelineSimulator",
+    "BatchTimes",
+    "pipeline_makespan",
+    "SingleServerTraining",
+    "SingleServerResult",
+    "build_loader",
+    "LOADER_KINDS",
+    "DistributedTraining",
+    "DistributedResult",
+    "DistributedEpoch",
+    "HPSearchScenario",
+    "HPSearchResult",
+    "AccuracyCurve",
+    "resnet50_imagenet_curve",
+    "time_to_accuracy",
+    "TimeToAccuracyResult",
+]

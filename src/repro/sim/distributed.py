@@ -1,0 +1,185 @@
+"""Multi-server distributed training scenario (Sec. 5.2, Figs. 9b/c, 10, 18).
+
+In synchronous data-parallel training across servers, every epoch each server
+processes a random disjoint shard of the dataset and all servers proceed in
+lockstep (gradient synchronisation at every iteration).  The epoch time of
+the job is therefore the *slowest* server's epoch time.
+
+Two data-pipeline configurations are compared:
+
+* **baseline (DALI-shuffle)** — each server relies on its local OS page cache;
+  because the shard changes every epoch, local misses go to local storage.
+* **CoorDL** — per-server MinIO caches coordinated into a partitioned cache;
+  local misses are served from the remote server's DRAM over TCP and only
+  fall back to storage when no server caches the item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.page_cache import PageCache
+from repro.cluster.server import ServerConfig
+from repro.compute.model_zoo import ModelSpec
+from repro.coordl.partitioned_loader import PartitionedCoorDLLoader
+from repro.datasets.dataset import SyntheticDataset
+from repro.datasets.sampler import BatchSampler, DistributedSampler
+from repro.exceptions import ConfigurationError
+from repro.pipeline.base import DataLoader
+from repro.pipeline.dali import DALILoader
+from repro.pipeline.stats import EpochStats
+from repro.prep.pipeline import PrepPipeline
+from repro.sim.engine import PipelineSimulator
+from repro.sim.single_server import effective_batch_size
+from repro.storage.filestore import FileStore
+
+
+@dataclass
+class DistributedEpoch:
+    """One epoch of a distributed job: per-server stats plus the job view."""
+
+    per_server: List[EpochStats]
+
+    @property
+    def epoch_time_s(self) -> float:
+        """Job epoch time (slowest server)."""
+        return max(s.epoch_time_s for s in self.per_server)
+
+    @property
+    def total_disk_bytes(self) -> float:
+        """Disk bytes summed over all servers."""
+        return sum(s.io.disk_bytes for s in self.per_server)
+
+    @property
+    def total_remote_bytes(self) -> float:
+        """Bytes fetched from remote caches, summed over servers."""
+        return sum(s.io.remote_bytes for s in self.per_server)
+
+    @property
+    def samples(self) -> int:
+        """Samples processed across all servers (one dataset pass)."""
+        return sum(s.samples for s in self.per_server)
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate samples/second of the distributed job."""
+        return self.samples / self.epoch_time_s if self.epoch_time_s else 0.0
+
+
+@dataclass
+class DistributedResult:
+    """Multi-epoch outcome of one distributed training configuration."""
+
+    loader_name: str
+    epochs: List[DistributedEpoch]
+
+    def steady_epochs(self, skip_first: int = 1) -> List[DistributedEpoch]:
+        """Epochs after the cold-cache warm-up."""
+        return self.epochs[skip_first:] if len(self.epochs) > skip_first else self.epochs
+
+    @property
+    def steady_epoch_time_s(self) -> float:
+        """Mean steady-state epoch time of the job."""
+        steady = self.steady_epochs()
+        return sum(e.epoch_time_s for e in steady) / len(steady)
+
+    @property
+    def steady_throughput(self) -> float:
+        """Mean steady-state aggregate throughput."""
+        steady = self.steady_epochs()
+        return sum(e.throughput for e in steady) / len(steady)
+
+    @property
+    def steady_disk_bytes_per_server(self) -> float:
+        """Mean per-server disk bytes per steady-state epoch."""
+        steady = self.steady_epochs()
+        servers = len(steady[0].per_server)
+        return sum(e.total_disk_bytes for e in steady) / (len(steady) * servers)
+
+
+def _build_baseline_loaders(dataset: SyntheticDataset, servers: List[ServerConfig],
+                            model: ModelSpec, gpu_prep: bool,
+                            seed: int) -> List[DataLoader]:
+    """Per-server DALI-shuffle loaders with local page caches and shard sampling."""
+    loaders: List[DataLoader] = []
+    for rank, server in enumerate(servers):
+        batch_size = effective_batch_size(
+            dataset, model.batch_size_for(server.gpu) * server.num_gpus)
+        prep = PrepPipeline.for_task(dataset.spec.task, library="dali")
+        prep = prep.with_scaled_cost(dataset.spec.prep_cost_scale)
+        workers = server.worker_pool(gpu_offload=gpu_prep)
+        sampler = DistributedSampler(len(dataset), num_replicas=len(servers),
+                                     rank=rank, seed=seed)
+        loaders.append(DALILoader(
+            dataset=dataset,
+            store=FileStore(dataset, server.storage),
+            cache=PageCache(server.cache_bytes),
+            batch_sampler=BatchSampler(sampler, batch_size),
+            prep=prep,
+            workers=workers,
+            num_gpus=server.num_gpus,
+            mode="shuffle",
+        ))
+    return loaders
+
+
+def _build_coordl_loaders(dataset: SyntheticDataset, servers: List[ServerConfig],
+                          model: ModelSpec, gpu_prep: bool,
+                          seed: int) -> List[PartitionedCoorDLLoader]:
+    batch_size = effective_batch_size(
+        dataset, model.batch_size_for(servers[0].gpu) * servers[0].num_gpus)
+    return PartitionedCoorDLLoader.build_group(dataset, servers, batch_size,
+                                               gpu_prep=gpu_prep, seed=seed)
+
+
+class DistributedTraining:
+    """Simulate a data-parallel job across several servers.
+
+    Args:
+        model: DNN being trained.
+        dataset: Dataset of the job.
+        servers: Participating servers (assumed homogeneous, as in the paper).
+        num_epochs: Epochs to simulate (first is warm-up).
+        queue_depth: Prefetch queue depth.
+    """
+
+    def __init__(self, model: ModelSpec, dataset: SyntheticDataset,
+                 servers: List[ServerConfig], num_epochs: int = 3,
+                 queue_depth: int = 4) -> None:
+        if len(servers) < 2:
+            raise ConfigurationError("distributed training needs at least two servers")
+        if num_epochs < 2:
+            raise ConfigurationError("need warm-up plus at least one measured epoch")
+        self._model = model
+        self._dataset = dataset
+        self._servers = servers
+        self._num_epochs = num_epochs
+        self._queue_depth = queue_depth
+
+    def _run(self, loaders: List[DataLoader], name: str,
+             gpu_prep: bool) -> DistributedResult:
+        simulators = [
+            PipelineSimulator(self._model, server.gpu, queue_depth=self._queue_depth)
+            for server in self._servers
+        ]
+        epochs: List[DistributedEpoch] = []
+        for epoch_index in range(self._num_epochs):
+            per_server = [
+                simulators[rank].run_epoch(loaders[rank], epoch_index)
+                for rank in range(len(self._servers))
+            ]
+            epochs.append(DistributedEpoch(per_server=per_server))
+        return DistributedResult(loader_name=name, epochs=epochs)
+
+    def run_baseline(self, gpu_prep: bool = False, seed: int = 0) -> DistributedResult:
+        """Simulate the job with per-server DALI-shuffle + local page caches."""
+        loaders = _build_baseline_loaders(self._dataset, self._servers, self._model,
+                                          gpu_prep, seed)
+        return self._run(loaders, "dali-shuffle", gpu_prep)
+
+    def run_coordl(self, gpu_prep: bool = False, seed: int = 0) -> DistributedResult:
+        """Simulate the job with CoorDL's partitioned caching."""
+        loaders = _build_coordl_loaders(self._dataset, self._servers, self._model,
+                                        gpu_prep, seed)
+        return self._run(list(loaders), "coordl-partitioned", gpu_prep)

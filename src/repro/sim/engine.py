@@ -1,0 +1,181 @@
+"""Pipelined epoch simulation engine.
+
+DNN training overlaps data fetch, pre-processing and GPU compute (Sec. 2).
+The engine models one epoch as a three-stage pipeline with a bounded prefetch
+queue between the data stages and the GPU:
+
+* stage F — fetch batch ``b`` (cache + storage times from the loader),
+* stage P — pre-process batch ``b`` (worker-pool time from the loader),
+* stage G — GPU compute on batch ``b``.
+
+Completion-time recurrence (per batch ``b``)::
+
+    done_F[b] = max(done_F[b-1], done_G[b-depth]) + t_F(b)
+    done_P[b] = max(done_P[b-1], done_F[b])       + t_P(b)
+    done_G[b] = max(done_G[b-1], done_P[b])       + t_G(b)
+
+The bounded depth is what gives DALI its characteristic behaviour of racing
+ahead early in an epoch while the cache is still hitting and then throttling
+to storage speed (Fig. 11).
+
+Stall attribution follows DS-Analyzer's differential method: the same
+per-batch time arrays are re-run with (a) fetch at DRAM speed to obtain the
+prep-limited epoch time and (b) GPU-only time; fetch stall and prep stall are
+the successive differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.compute.gpu import GPUSpec
+from repro.compute.model_zoo import ModelSpec
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.pipeline.base import DataLoader
+from repro.pipeline.stats import EpochStats
+from repro.storage.iostats import IOStats
+
+
+@dataclass
+class BatchTimes:
+    """Per-batch stage durations collected while simulating an epoch."""
+
+    fetch_s: List[float]
+    cached_fetch_s: List[float]
+    prep_s: List[float]
+    gpu_s: List[float]
+
+    def num_batches(self) -> int:
+        """Number of batches in the epoch."""
+        return len(self.gpu_s)
+
+
+def pipeline_makespan(stage_times: Sequence[Sequence[float]], queue_depth: int = 4) -> float:
+    """Makespan of an N-stage pipeline with a bounded prefetch queue.
+
+    Args:
+        stage_times: One sequence of per-batch durations per stage, ordered
+            from the first (producer) stage to the last (consumer) stage.
+        queue_depth: How many batches the first stage may run ahead of the
+            last stage (the prefetch queue size of DALI / PyTorch DL).
+
+    Returns:
+        Completion time of the last batch in the last stage.
+    """
+    if queue_depth < 1:
+        raise ConfigurationError("queue depth must be at least 1")
+    stages = [list(s) for s in stage_times]
+    if not stages:
+        raise ConfigurationError("need at least one stage")
+    num_batches = len(stages[0])
+    if any(len(s) != num_batches for s in stages):
+        raise SimulationError("all stages must have the same number of batches")
+    if num_batches == 0:
+        return 0.0
+    num_stages = len(stages)
+    done = [[0.0] * num_batches for _ in range(num_stages)]
+    for b in range(num_batches):
+        for s in range(num_stages):
+            prev_same_stage = done[s][b - 1] if b > 0 else 0.0
+            prev_stage = done[s - 1][b] if s > 0 else 0.0
+            backpressure = 0.0
+            if s == 0 and b >= queue_depth:
+                backpressure = done[num_stages - 1][b - queue_depth]
+            start = max(prev_same_stage, prev_stage, backpressure)
+            done[s][b] = start + stages[s][b]
+    return done[num_stages - 1][num_batches - 1]
+
+
+class PipelineSimulator:
+    """Simulates epochs of one training job driven by a data loader.
+
+    Args:
+        model: The DNN being trained (supplies the GPU ingestion rate).
+        gpu: GPU type of the server.
+        queue_depth: Prefetch queue size between the data pipeline and GPU.
+    """
+
+    def __init__(self, model: ModelSpec, gpu: GPUSpec, queue_depth: int = 4) -> None:
+        self._model = model
+        self._gpu = gpu
+        self._queue_depth = queue_depth
+
+    @property
+    def model(self) -> ModelSpec:
+        """The DNN being trained."""
+        return self._model
+
+    @property
+    def gpu(self) -> GPUSpec:
+        """GPU type of the server."""
+        return self._gpu
+
+    def gpu_batch_time(self, loader: DataLoader, batch_size: int) -> float:
+        """GPU compute seconds for one batch of the given size."""
+        rate = self._model.aggregate_gpu_rate(
+            self._gpu, loader.num_gpus, gpu_prep_active=loader.uses_gpu_prep)
+        return batch_size / rate
+
+    def collect_batch_times(self, loader: DataLoader, epoch_index: int) -> BatchTimes:
+        """Run the fetch path for one epoch and collect per-batch durations.
+
+        Fetching mutates the loader's cache, so the cache state after this
+        call reflects having trained the epoch (warm cache for the next one).
+        """
+        fetch_s: List[float] = []
+        cached_fetch_s: List[float] = []
+        prep_s: List[float] = []
+        gpu_s: List[float] = []
+        clock = 0.0
+        for batch in loader.batches(epoch_index):
+            result = loader.fetch_batch(batch, at_time=clock)
+            fetch_s.append(result.duration_s)
+            cached_fetch_s.append(loader.cached_fetch_time(batch))
+            prep_s.append(loader.prep_batch_time(batch))
+            gpu_s.append(self.gpu_batch_time(loader, len(batch)))
+            clock += result.duration_s
+        return BatchTimes(fetch_s, cached_fetch_s, prep_s, gpu_s)
+
+    def run_epoch(self, loader: DataLoader, epoch_index: int) -> EpochStats:
+        """Simulate one epoch and return its timing/IO breakdown."""
+        loader.reset_io()
+        hits_before = loader.cache.stats.hits
+        misses_before = loader.cache.stats.misses
+        times = self.collect_batch_times(loader, epoch_index)
+        samples = sum(len(b) for b in loader.batches(epoch_index))
+
+        epoch_time = pipeline_makespan(
+            [times.fetch_s, times.prep_s, times.gpu_s], self._queue_depth)
+        prep_limited = pipeline_makespan(
+            [times.cached_fetch_s, times.prep_s, times.gpu_s], self._queue_depth)
+        gpu_time = float(np.sum(times.gpu_s))
+
+        io = IOStats(
+            disk_bytes=loader.io.disk_bytes,
+            disk_requests=loader.io.disk_requests,
+            cache_bytes=loader.io.cache_bytes,
+            cache_requests=loader.io.cache_requests,
+            remote_bytes=loader.io.remote_bytes,
+            remote_requests=loader.io.remote_requests,
+        )
+        io.timeline = list(loader.io.timeline)
+
+        return EpochStats(
+            epoch_time_s=epoch_time,
+            gpu_time_s=gpu_time,
+            prep_limited_time_s=min(prep_limited, epoch_time),
+            samples=samples,
+            io=io,
+            cache_hits=loader.cache.stats.hits - hits_before,
+            cache_misses=loader.cache.stats.misses - misses_before,
+        )
+
+    def run_epochs(self, loader: DataLoader, num_epochs: int,
+                   start_epoch: int = 0) -> List[EpochStats]:
+        """Simulate several consecutive epochs (cache state carries over)."""
+        if num_epochs <= 0:
+            raise ConfigurationError("need at least one epoch")
+        return [self.run_epoch(loader, start_epoch + e) for e in range(num_epochs)]

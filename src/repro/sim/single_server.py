@@ -1,0 +1,156 @@
+"""Single-server training scenario driver.
+
+Wires a model + dataset + server + loader choice into the pipelined epoch
+simulator and runs the paper's measurement protocol (warm-up epoch followed by
+measured epochs, Sec. 3.1).  This is the workhorse behind Figs. 2–6, 9(a),
+11, 13, 14 and Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.server import ServerConfig
+from repro.compute.model_zoo import ModelSpec
+from repro.coordl.minio_loader import best_coordl_loader
+from repro.datasets.dataset import SyntheticDataset
+from repro.exceptions import ConfigurationError
+from repro.pipeline.base import DataLoader
+from repro.pipeline.dali import DALILoader, best_dali_loader
+from repro.pipeline.pytorch_native import PyTorchNativeLoader
+from repro.pipeline.stats import TrainingRunStats
+from repro.sim.engine import PipelineSimulator
+
+#: Loader names accepted by :func:`build_loader`.
+LOADER_KINDS = ("pytorch", "dali-seq", "dali-shuffle", "coordl")
+
+#: Minimum number of minibatches per epoch the simulation keeps, so that the
+#: pipelined overlap of fetch/prep/compute remains realistic on the scaled
+#: datasets the experiments run on (a full-size epoch has hundreds of batches).
+MIN_BATCHES_PER_EPOCH = 40
+
+
+def effective_batch_size(dataset: SyntheticDataset, nominal_batch_size: int,
+                         min_batches: int = MIN_BATCHES_PER_EPOCH) -> int:
+    """Clamp a batch size so a (scaled) dataset still yields many batches.
+
+    Stall fractions and speedups are insensitive to the absolute batch size,
+    but they are distorted when a scaled-down dataset degenerates to one or
+    two giant batches (no pipelining).  The clamp preserves the real batch
+    size whenever the dataset is large enough.
+    """
+    cap = max(32, len(dataset) // min_batches)
+    return max(1, min(nominal_batch_size, cap))
+
+
+def build_loader(kind: str, dataset: SyntheticDataset, server: ServerConfig,
+                 model: ModelSpec, num_gpus: Optional[int] = None,
+                 cores: Optional[float] = None, cache_bytes: Optional[float] = None,
+                 gpu_prep: Optional[bool] = None, seed: int = 0,
+                 batch_size: Optional[int] = None) -> DataLoader:
+    """Build a loader of the requested kind for one training job.
+
+    Args:
+        kind: One of :data:`LOADER_KINDS`.
+        dataset: Dataset to train on.
+        server: Server the job runs on.
+        model: Model being trained (supplies the per-GPU batch size and the
+            GPU-prep interference factor used by the best-of selection).
+        num_gpus: GPUs used by the job (defaults to all on the server).
+        cores: Physical prep cores for the job (defaults to all).
+        cache_bytes: Override the server's cache budget (cache-size sweeps).
+        gpu_prep: Force GPU prep on/off; None selects the faster variant.
+        seed: Sampler seed.
+        batch_size: Explicit per-iteration batch size; when omitted the
+            model's per-GPU batch size times ``num_gpus`` is used, clamped by
+            :func:`effective_batch_size` for scaled datasets.
+    """
+    if kind not in LOADER_KINDS:
+        raise ConfigurationError(f"unknown loader kind {kind!r}; expected one of {LOADER_KINDS}")
+    gpus = num_gpus if num_gpus is not None else server.num_gpus
+    if cache_bytes is not None:
+        server = server.with_cache_bytes(cache_bytes)
+    if batch_size is None:
+        batch_size = effective_batch_size(dataset, model.batch_size_for(server.gpu) * gpus)
+
+    if kind == "pytorch":
+        return PyTorchNativeLoader.build(dataset, server, batch_size,
+                                         num_gpus=gpus, cores=cores, seed=seed)
+    if kind in ("dali-seq", "dali-shuffle"):
+        mode = "seq" if kind == "dali-seq" else "shuffle"
+        if gpu_prep is None:
+            return best_dali_loader(dataset, server, batch_size,
+                                    model_gpu_prep_interference=model.gpu_prep_interference,
+                                    mode=mode, num_gpus=gpus, cores=cores, seed=seed)
+        return DALILoader.build(dataset, server, batch_size, mode=mode,
+                                gpu_prep=gpu_prep, num_gpus=gpus, cores=cores, seed=seed)
+    # CoorDL
+    if gpu_prep is None:
+        return best_coordl_loader(dataset, server, batch_size,
+                                  model_gpu_prep_interference=model.gpu_prep_interference,
+                                  num_gpus=gpus, cores=cores, seed=seed)
+    from repro.coordl.minio_loader import CoorDLLoader
+    return CoorDLLoader.build(dataset, server, batch_size, gpu_prep=gpu_prep,
+                              num_gpus=gpus, cores=cores, seed=seed)
+
+
+@dataclass
+class SingleServerResult:
+    """Outcome of one single-server training simulation."""
+
+    loader_name: str
+    run: TrainingRunStats
+
+    @property
+    def steady_epoch_time_s(self) -> float:
+        """Mean steady-state epoch time (first epoch ignored)."""
+        return self.run.mean_epoch_time()
+
+    @property
+    def steady_throughput(self) -> float:
+        """Mean steady-state throughput in samples/second."""
+        return self.run.mean_throughput()
+
+
+class SingleServerTraining:
+    """Run a single-server training job for a few epochs and collect stats.
+
+    Args:
+        model: DNN to train.
+        dataset: Dataset to train on.
+        server: Server configuration.
+        num_epochs: Total epochs to simulate (first is cold-cache warm-up).
+        queue_depth: Prefetch queue depth of the pipeline.
+    """
+
+    def __init__(self, model: ModelSpec, dataset: SyntheticDataset,
+                 server: ServerConfig, num_epochs: int = 3,
+                 queue_depth: int = 4) -> None:
+        if num_epochs < 2:
+            raise ConfigurationError(
+                "need at least two epochs (warm-up + one measured epoch)")
+        self._model = model
+        self._dataset = dataset
+        self._server = server
+        self._num_epochs = num_epochs
+        self._queue_depth = queue_depth
+
+    def run_with_loader(self, loader: DataLoader) -> SingleServerResult:
+        """Simulate the configured number of epochs with a ready-made loader."""
+        simulator = PipelineSimulator(self._model, self._server.gpu,
+                                      queue_depth=self._queue_depth)
+        run = TrainingRunStats()
+        for stats in simulator.run_epochs(loader, self._num_epochs):
+            run.add(stats)
+        return SingleServerResult(loader_name=loader.name, run=run)
+
+    def run(self, loader_kind: str, num_gpus: Optional[int] = None,
+            cores: Optional[float] = None, cache_bytes: Optional[float] = None,
+            gpu_prep: Optional[bool] = None, seed: int = 0,
+            batch_size: Optional[int] = None) -> SingleServerResult:
+        """Build a loader of the given kind and simulate the training run."""
+        loader = build_loader(loader_kind, self._dataset, self._server, self._model,
+                              num_gpus=num_gpus, cores=cores, cache_bytes=cache_bytes,
+                              gpu_prep=gpu_prep, seed=seed, batch_size=batch_size)
+        return self.run_with_loader(loader)

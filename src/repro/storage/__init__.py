@@ -1,0 +1,7 @@
+"""Storage substrate: device models, file store, and I/O accounting."""
+
+from repro.storage.device import StorageDevice, dram, hdd, sata_ssd
+from repro.storage.filestore import FileStore
+from repro.storage.iostats import IOStats
+
+__all__ = ["StorageDevice", "FileStore", "IOStats", "sata_ssd", "hdd", "dram"]

@@ -1,0 +1,69 @@
+"""File store: the storage-resident copy of a dataset.
+
+A :class:`FileStore` binds a :class:`~repro.datasets.dataset.SyntheticDataset`
+to a :class:`~repro.storage.device.StorageDevice` and answers item reads,
+returning the *time* the read would take and accounting the bytes in an
+:class:`~repro.storage.iostats.IOStats`.  It is the single point through which
+all disk traffic in the simulation flows, so read amplification and disk-I/O
+totals reported by the experiments are actual counts of calls made by the
+loaders, not closed-form estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datasets.dataset import SyntheticDataset
+from repro.storage.device import StorageDevice
+from repro.storage.iostats import IOStats
+
+
+class FileStore:
+    """Dataset resident on one storage device.
+
+    Args:
+        dataset: The dataset stored on this device.
+        device: The storage device model.
+        sequential_hint: When true, reads are charged at the device's
+            sequential bandwidth (TFRecord chunks / DALI-seq whole-file scans).
+    """
+
+    def __init__(self, dataset: SyntheticDataset, device: StorageDevice,
+                 sequential_hint: bool = False) -> None:
+        self._dataset = dataset
+        self._device = device
+        self._sequential_hint = sequential_hint
+        self._stats = IOStats()
+
+    @property
+    def dataset(self) -> SyntheticDataset:
+        """The dataset stored here."""
+        return self._dataset
+
+    @property
+    def device(self) -> StorageDevice:
+        """The backing device model."""
+        return self._device
+
+    @property
+    def stats(self) -> IOStats:
+        """Cumulative I/O counters for this store."""
+        return self._stats
+
+    def read_item(self, item_id: int, at_time: Optional[float] = None,
+                  sequential: Optional[bool] = None) -> float:
+        """Read one item from storage; returns the read duration in seconds."""
+        nbytes = self._dataset.item_size(item_id)
+        return self.read_bytes(nbytes, at_time=at_time, sequential=sequential)
+
+    def read_bytes(self, nbytes: float, at_time: Optional[float] = None,
+                   sequential: Optional[bool] = None) -> float:
+        """Read an arbitrary byte extent (used for record chunks)."""
+        seq = self._sequential_hint if sequential is None else sequential
+        duration = self._device.read_time(nbytes, sequential=seq)
+        self._stats.record_disk(nbytes, at_time=at_time)
+        return duration
+
+    def reset_stats(self) -> None:
+        """Clear accumulated I/O counters (e.g. after the warm-up epoch)."""
+        self._stats.reset()

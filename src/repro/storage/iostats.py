@@ -1,0 +1,87 @@
+"""I/O accounting.
+
+Every read performed against a :class:`~repro.storage.filestore.FileStore`
+is recorded here: bytes and requests by source (storage, cache, remote), plus
+an optional time-series of (virtual time, cumulative disk bytes) samples used
+to reproduce the disk-I/O-over-time plots (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class IOStats:
+    """Counters for one loader / one epoch / one server (caller's choice)."""
+
+    disk_bytes: float = 0.0
+    disk_requests: int = 0
+    cache_bytes: float = 0.0
+    cache_requests: int = 0
+    remote_bytes: float = 0.0
+    remote_requests: int = 0
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record_disk(self, nbytes: float, at_time: float | None = None) -> None:
+        """Account one read served by the storage device."""
+        self.disk_bytes += nbytes
+        self.disk_requests += 1
+        if at_time is not None:
+            self.timeline.append((at_time, self.disk_bytes))
+
+    def record_cache(self, nbytes: float) -> None:
+        """Account one read served from the local DRAM cache."""
+        self.cache_bytes += nbytes
+        self.cache_requests += 1
+
+    def record_remote(self, nbytes: float) -> None:
+        """Account one read served from a remote server's cache."""
+        self.remote_bytes += nbytes
+        self.remote_requests += 1
+
+    @property
+    def total_requests(self) -> int:
+        """All item reads regardless of source."""
+        return self.disk_requests + self.cache_requests + self.remote_requests
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes read regardless of source."""
+        return self.disk_bytes + self.cache_bytes + self.remote_bytes
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of requests served from local cache."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.cache_requests / self.total_requests
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of requests that had to leave the local cache."""
+        return 1.0 - self.cache_hit_ratio
+
+    def merged_with(self, other: "IOStats") -> "IOStats":
+        """Return the element-wise sum of two counters (timelines concatenated)."""
+        merged = IOStats(
+            disk_bytes=self.disk_bytes + other.disk_bytes,
+            disk_requests=self.disk_requests + other.disk_requests,
+            cache_bytes=self.cache_bytes + other.cache_bytes,
+            cache_requests=self.cache_requests + other.cache_requests,
+            remote_bytes=self.remote_bytes + other.remote_bytes,
+            remote_requests=self.remote_requests + other.remote_requests,
+        )
+        merged.timeline = sorted(self.timeline + other.timeline)
+        return merged
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. between warm-up and measured epochs)."""
+        self.disk_bytes = 0.0
+        self.disk_requests = 0
+        self.cache_bytes = 0.0
+        self.cache_requests = 0
+        self.remote_bytes = 0.0
+        self.remote_requests = 0
+        self.timeline.clear()

@@ -1,0 +1,218 @@
+"""Unit tests for the cache substrates: LRU, page cache, MinIO, partitioned."""
+
+import numpy as np
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.cache.minio import MinIOCache
+from repro.cache.page_cache import PageCache
+from repro.cache.partitioned import LookupSource, PartitionedCacheGroup
+from repro.datasets.sampler import RandomSampler
+from repro.exceptions import ConfigurationError
+
+
+class TestLRUCache:
+    def test_hit_after_admit(self):
+        cache = LRUCache(100.0)
+        assert not cache.lookup(1)
+        assert cache.admit(1, 10.0)
+        assert cache.lookup(1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(30.0)
+        for item in (1, 2, 3):
+            cache.admit(item, 10.0)
+        cache.lookup(1)            # 1 becomes most recently used
+        cache.admit(4, 10.0)       # evicts 2 (the LRU entry)
+        assert 1 in cache and 3 in cache and 4 in cache
+        assert 2 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_oversized_item_rejected(self):
+        cache = LRUCache(10.0)
+        assert not cache.admit(1, 100.0)
+        assert cache.stats.rejected == 1
+
+    def test_used_bytes_tracks_contents(self):
+        cache = LRUCache(100.0)
+        cache.admit(1, 30.0)
+        cache.admit(2, 20.0)
+        assert cache.used_bytes == 50.0
+        cache.evict(1)
+        assert cache.used_bytes == 20.0
+
+    def test_clear(self):
+        cache = LRUCache(100.0)
+        cache.admit(1, 30.0)
+        cache.clear()
+        assert cache.used_bytes == 0.0
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(-1.0)
+
+
+class TestPageCache:
+    def test_rounds_items_up_to_whole_pages(self):
+        cache = PageCache(100 * 4096.0)
+        cache.admit(1, 1.0)
+        assert cache.used_bytes == 4096.0
+
+    def test_second_reference_promotes_to_active_list(self):
+        cache = PageCache(10 * 4096.0)
+        cache.admit(1, 4096.0)
+        assert cache.active_bytes == 0.0
+        cache.lookup(1)
+        assert cache.active_bytes == 4096.0
+        assert cache.inactive_bytes == 0.0
+
+    def test_active_list_protected_from_streaming_evictions(self):
+        # Capacity for 4 pages; items 1 and 2 are promoted (hot), then a
+        # stream of cold items passes through.  The hot items survive.
+        cache = PageCache(4 * 4096.0, active_target_fraction=0.5)
+        for hot in (1, 2):
+            cache.admit(hot, 4096.0)
+            cache.lookup(hot)
+        for cold in range(100, 120):
+            cache.admit(cold, 4096.0)
+        assert 1 in cache and 2 in cache
+
+    def test_thrashing_under_single_pass_random_access(self, tiny_dataset):
+        """The paper's key observation: LRU yields fewer hits than capacity."""
+        capacity_fraction = 0.5
+        cache = PageCache(tiny_dataset.total_bytes * capacity_fraction)
+        sampler = RandomSampler(len(tiny_dataset), seed=0)
+        for epoch in range(3):
+            if epoch == 2:
+                cache.reset_stats()
+            for item in sampler.epoch(epoch):
+                item = int(item)
+                if not cache.lookup(item):
+                    cache.admit(item, tiny_dataset.item_size(item))
+        assert cache.stats.hit_ratio < capacity_fraction
+        assert cache.evictions > 0
+
+    def test_sequential_scan_is_pathological(self, tiny_dataset):
+        cache = PageCache(tiny_dataset.total_bytes * 0.5)
+        for epoch in range(2):
+            if epoch == 1:
+                cache.reset_stats()
+            for item in range(len(tiny_dataset)):
+                if not cache.lookup(item):
+                    cache.admit(item, tiny_dataset.item_size(item))
+        assert cache.stats.hit_ratio < 0.05
+
+    def test_explicit_evict_and_clear(self):
+        cache = PageCache(10 * 4096.0)
+        cache.admit(1, 4096.0)
+        assert cache.evict(1)
+        assert not cache.evict(1)
+        cache.admit(2, 4096.0)
+        cache.clear()
+        assert cache.used_bytes == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageCache(100.0, page_bytes=0)
+        with pytest.raises(ConfigurationError):
+            PageCache(100.0, active_target_fraction=1.5)
+
+
+class TestMinIOCache:
+    def test_never_evicts(self):
+        cache = MinIOCache(25.0)
+        assert cache.admit(1, 10.0)
+        assert cache.admit(2, 10.0)
+        assert not cache.admit(3, 10.0)      # full: request defaults to storage
+        assert 1 in cache and 2 in cache and 3 not in cache
+        assert cache.stats.evictions == 0
+
+    def test_exactly_capacity_hits_per_epoch(self, tiny_dataset):
+        """MinIO's defining property (Sec. 4.1)."""
+        cache = MinIOCache(tiny_dataset.total_bytes * 0.4)
+        sampler = RandomSampler(len(tiny_dataset), seed=0)
+        # Warm-up epoch.
+        for item in sampler.epoch(0):
+            item = int(item)
+            if not cache.lookup(item):
+                cache.admit(item, tiny_dataset.item_size(item))
+        cached_items = len(list(cache.cached_items()))
+        for epoch in (1, 2):
+            cache.reset_stats()
+            for item in sampler.epoch(epoch):
+                item = int(item)
+                if not cache.lookup(item):
+                    cache.admit(item, tiny_dataset.item_size(item))
+            assert cache.stats.hits == cached_items
+            assert cache.stats.misses == len(tiny_dataset) - cached_items
+
+    def test_admit_is_idempotent(self):
+        cache = MinIOCache(100.0)
+        assert cache.admit(1, 10.0)
+        assert cache.admit(1, 10.0)
+        assert cache.used_bytes == 10.0
+
+    def test_item_size_lookup(self):
+        cache = MinIOCache(100.0)
+        cache.admit(1, 10.0)
+        assert cache.item_size(1) == 10.0
+        assert cache.item_size(2) == 0.0
+
+    def test_is_full_property(self):
+        cache = MinIOCache(10.0)
+        assert not cache.is_full
+        cache.admit(1, 10.0)
+        assert cache.is_full
+
+
+class TestPartitionedCacheGroup:
+    def _group(self, dataset, num_servers=2, fraction_each=0.5, seed=0):
+        capacities = [dataset.total_bytes * fraction_each] * num_servers
+        group = PartitionedCacheGroup(dataset, capacities, seed=seed)
+        group.populate_from_shards()
+        return group
+
+    def test_shards_partition_the_dataset(self, tiny_dataset):
+        group = self._group(tiny_dataset)
+        all_items = np.concatenate([group.shard(s) for s in range(group.num_servers)])
+        assert sorted(all_items.tolist()) == list(range(len(tiny_dataset)))
+
+    def test_aggregate_capacity_and_coverage(self, tiny_dataset):
+        group = self._group(tiny_dataset, fraction_each=0.6)
+        assert group.aggregate_capacity_bytes() == pytest.approx(
+            tiny_dataset.total_bytes * 1.2)
+        assert group.covers_dataset()
+        small = self._group(tiny_dataset, fraction_each=0.3)
+        assert not small.covers_dataset()
+
+    def test_lookup_prefers_local_then_remote_then_storage(self, tiny_dataset):
+        group = self._group(tiny_dataset, fraction_each=0.6)
+        local_item = int(group.shard(0)[0])
+        remote_item = int(group.shard(1)[0])
+        assert group.lookup(0, local_item).source is LookupSource.LOCAL_CACHE
+        remote = group.lookup(0, remote_item)
+        assert remote.source is LookupSource.REMOTE_CACHE
+        assert remote.owner == 1
+
+    def test_uncached_items_fall_back_to_storage(self, tiny_dataset):
+        group = self._group(tiny_dataset, fraction_each=0.2)
+        uncached = [i for i in range(len(tiny_dataset)) if group.owner_of(i) is None]
+        assert uncached, "with 40% aggregate cache some items must be uncached"
+        assert group.lookup(0, uncached[0]).source is LookupSource.STORAGE
+
+    def test_admit_local_updates_directory(self, tiny_dataset):
+        group = self._group(tiny_dataset, fraction_each=0.2)
+        uncached = [i for i in range(len(tiny_dataset)) if group.owner_of(i) is None]
+        item = uncached[0]
+        if group.admit_local(0, item):
+            assert group.owner_of(item) == 0
+
+    def test_invalid_configuration(self, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            PartitionedCacheGroup(tiny_dataset, [])
+        group = self._group(tiny_dataset)
+        with pytest.raises(ConfigurationError):
+            group.lookup(5, 0)

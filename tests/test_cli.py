@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+
+
+class TestCLI:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(registry.experiment_ids())
+
+    def test_run_experiment_prints_table(self, capsys):
+        assert main(["run-experiment", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "MinIO" in out and "page cache" in out
+
+    def test_run_experiment_with_scale(self, capsys):
+        assert main(["run-experiment", "fig1", "--scale", "0.002"]) == 0
+        assert "ResNet18" in capsys.readouterr().out
+
+    def test_profile_command(self, capsys):
+        code = main(["profile", "resnet18", "openimages", "config-ssd-v100",
+                     "--cache", "0.5", "--scale", "0.002", "--gpu-prep"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GPU ingestion rate" in out
+        assert "Recommended cache" in out
+
+    def test_report_command_writes_file(self, tmp_path, capsys):
+        # Use a large scale divisor to keep the full report generation fast.
+        output = tmp_path / "EXPERIMENTS_test.md"
+        assert main(["report", "-o", str(output), "--scale", "0.002"]) == 0
+        text = output.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Fig. 9" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fly-to-the-moon"])
+
+    def test_unknown_experiment_raises_library_error(self):
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["run-experiment", "fig99"])

@@ -1,0 +1,99 @@
+"""Unit tests for the cross-job staging area (coordinated prep, Sec. 4.3)."""
+
+import pytest
+
+from repro.coordl.staging import StagingArea
+from repro.exceptions import ConfigurationError, StagingTimeoutError
+
+
+class TestStagingArea:
+    def test_stage_and_consume_lifecycle(self):
+        staging = StagingArea(num_jobs=3)
+        staging.stage(0, epoch=0, producer_job=0, item_ids=[1, 2, 3], prepared_bytes=300.0)
+        assert staging.is_staged(0)
+        assert staging.current_bytes == 300.0
+        for job in range(3):
+            staging.consume(job, 0)
+        # Evicted once every job has used it exactly once.
+        assert not staging.is_staged(0)
+        assert staging.current_bytes == 0.0
+        assert staging.evicted == 1
+        assert staging.consumptions == 3
+
+    def test_batch_retained_until_all_jobs_consume(self):
+        staging = StagingArea(num_jobs=2)
+        staging.stage(5, 0, 0, [1], 10.0)
+        staging.consume(0, 5)
+        assert staging.is_staged(5)
+        staging.consume(1, 5)
+        assert not staging.is_staged(5)
+
+    def test_double_consumption_by_same_job_rejected(self):
+        """A job must use each minibatch exactly once per epoch."""
+        staging = StagingArea(num_jobs=2)
+        staging.stage(1, 0, 0, [1], 10.0)
+        staging.consume(0, 1)
+        with pytest.raises(ConfigurationError):
+            staging.consume(0, 1)
+
+    def test_missing_batch_raises_timeout_signal(self):
+        staging = StagingArea(num_jobs=2)
+        with pytest.raises(StagingTimeoutError):
+            staging.consume(0, 99)
+
+    def test_duplicate_batch_id_rejected(self):
+        staging = StagingArea(num_jobs=2)
+        staging.stage(1, 0, 0, [1], 10.0)
+        with pytest.raises(ConfigurationError):
+            staging.stage(1, 0, 1, [2], 10.0)
+
+    def test_peak_bytes_tracks_high_water_mark(self):
+        staging = StagingArea(num_jobs=1)
+        staging.stage(1, 0, 0, [1], 100.0)
+        staging.stage(2, 0, 0, [2], 50.0)
+        staging.consume(0, 1)
+        staging.consume(0, 2)
+        assert staging.peak_bytes == 150.0
+        assert staging.current_bytes == 0.0
+
+    def test_pending_for_job(self):
+        staging = StagingArea(num_jobs=2)
+        staging.stage(1, 0, 0, [1], 1.0)
+        staging.stage(2, 0, 1, [2], 1.0)
+        staging.consume(0, 1)
+        assert staging.pending_for_job(0) == [2]
+        assert sorted(staging.pending_for_job(1)) == [1, 2]
+
+    def test_drop_epoch_clears_leftovers(self):
+        staging = StagingArea(num_jobs=2)
+        staging.stage(1, epoch=0, producer_job=0, item_ids=[1], prepared_bytes=1.0)
+        staging.stage(2, epoch=1, producer_job=0, item_ids=[2], prepared_bytes=1.0)
+        dropped = staging.drop_epoch(0)
+        assert dropped == 1
+        assert not staging.is_staged(1)
+        assert staging.is_staged(2)
+
+    def test_remove_job_relaxes_consumption_requirement(self):
+        staging = StagingArea(num_jobs=3)
+        staging.stage(1, 0, 0, [1], 1.0)
+        staging.consume(0, 1)
+        staging.consume(1, 1)
+        assert staging.is_staged(1)       # still waiting for job 2
+        staging.remove_job(2)
+        assert not staging.is_staged(1)   # requirement now satisfied
+
+    def test_remove_last_job_rejected(self):
+        staging = StagingArea(num_jobs=1)
+        with pytest.raises(ConfigurationError):
+            staging.remove_job(0)
+
+    def test_timeout_threshold(self):
+        staging = StagingArea(num_jobs=2, batch_timeout_s=5.0)
+        assert not staging.wait_time_exceeded(4.9)
+        assert staging.wait_time_exceeded(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StagingArea(num_jobs=0)
+        with pytest.raises(ConfigurationError):
+            StagingArea(num_jobs=1, batch_timeout_s=0)

@@ -1,0 +1,144 @@
+"""Unit tests for DS-Analyzer: profiler, predictor, what-if analyses, reports."""
+
+import pytest
+
+from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
+from repro.compute.model_zoo import ALEXNET, RESNET18, RESNET50
+from repro.dsanalyzer.predictor import Bottleneck, DataStallPredictor
+from repro.dsanalyzer.profiler import DSAnalyzerProfiler
+from repro.dsanalyzer.report import (
+    format_prediction,
+    format_profile,
+    format_recommendation,
+    format_sweep,
+    summarize,
+)
+from repro.dsanalyzer.whatif import (
+    cores_needed_per_gpu,
+    optimal_cache_fraction,
+    sweep_cache_fractions,
+    with_faster_gpu,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def profile(small_dataset, ssd_server):
+    return DSAnalyzerProfiler(ALEXNET, small_dataset, ssd_server).profile()
+
+
+class TestProfiler:
+    def test_phase_rates_are_ordered_sensibly(self, profile):
+        # DRAM is far faster than the SSD, which is faster than one HDD would be.
+        assert profile.cache_rate > 10 * profile.storage_rate
+        assert profile.gpu_rate > 0 and profile.prep_rate > 0
+
+    def test_gpu_prep_increases_prep_rate(self, small_dataset, ssd_server):
+        cpu = DSAnalyzerProfiler(RESNET18, small_dataset, ssd_server, gpu_prep=False)
+        gpu = DSAnalyzerProfiler(RESNET18, small_dataset, ssd_server, gpu_prep=True)
+        assert gpu.measure_prep_rate() > cpu.measure_prep_rate()
+
+    def test_prep_rate_scales_with_cores(self, small_dataset, ssd_server):
+        profiler = DSAnalyzerProfiler(RESNET18, small_dataset, ssd_server)
+        assert profiler.measure_prep_rate(cores=24) == pytest.approx(
+            8 * profiler.measure_prep_rate(cores=3), rel=0.05)
+
+    def test_rate_to_mbps(self, profile):
+        mbps = profile.rate_to_mbps(1000.0)
+        assert mbps == pytest.approx(1000.0 * profile.mean_item_bytes / 1e6)
+
+
+class TestPredictor:
+    def test_fetch_rate_grows_with_cache_fraction(self, profile):
+        predictor = DataStallPredictor(profile)
+        rates = [predictor.effective_fetch_rate(f) for f in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert rates == sorted(rates)
+        assert rates[0] == pytest.approx(profile.storage_rate, rel=0.01)
+
+    def test_zero_cache_is_io_bound_full_cache_is_not(self, profile):
+        predictor = DataStallPredictor(profile)
+        assert predictor.predict(0.0).bottleneck is Bottleneck.FETCH
+        assert predictor.predict(1.0).bottleneck in (Bottleneck.PREP, Bottleneck.GPU)
+
+    def test_training_speed_is_min_of_rates(self, profile):
+        predictor = DataStallPredictor(profile)
+        p = predictor.predict(0.4)
+        assert p.training_speed == pytest.approx(
+            min(p.fetch_rate, p.prep_rate, p.gpu_rate))
+
+    def test_stall_fractions_in_range(self, profile):
+        predictor = DataStallPredictor(profile)
+        for fraction in (0.0, 0.3, 0.7, 1.0):
+            p = predictor.predict(fraction)
+            assert 0.0 <= p.fetch_stall_fraction <= 1.0
+            assert 0.0 <= p.prep_stall_fraction <= 1.0
+
+    def test_thrashing_factor_lowers_fetch_rate(self, profile):
+        clean = DataStallPredictor(profile)
+        thrashy = DataStallPredictor(profile, thrashing_factor=0.2)
+        assert thrashy.effective_fetch_rate(0.5) < clean.effective_fetch_rate(0.5)
+
+    def test_epoch_time(self, profile):
+        predictor = DataStallPredictor(profile)
+        assert predictor.epoch_time(0.5, 1000) == pytest.approx(
+            1000 / predictor.predict_training_speed(0.5))
+
+    def test_validation(self, profile):
+        with pytest.raises(ConfigurationError):
+            DataStallPredictor(profile, thrashing_factor=1.5)
+        with pytest.raises(ConfigurationError):
+            DataStallPredictor(profile).effective_fetch_rate(1.5)
+
+
+class TestWhatIf:
+    def test_optimal_cache_fraction_is_where_io_bound_ends(self, profile, small_dataset):
+        predictor = DataStallPredictor(profile)
+        rec = optimal_cache_fraction(predictor, small_dataset, resolution=0.05)
+        assert 0.0 < rec.optimal_cache_fraction <= 1.0
+        assert rec.bottleneck_beyond_optimum is not Bottleneck.FETCH
+        # One step below the optimum the job is still IO bound (if optimum > 0).
+        below = predictor.predict(max(0.0, rec.optimal_cache_fraction - 0.05))
+        if rec.optimal_cache_fraction >= 0.05:
+            assert below.bottleneck is Bottleneck.FETCH
+
+    def test_sweep_sizes(self, profile):
+        predictor = DataStallPredictor(profile)
+        sweep = sweep_cache_fractions(predictor, [0.0, 0.5, 1.0])
+        assert len(sweep) == 3
+
+    def test_cores_needed_ranks_models_correctly(self, tiny_dataset, ssd_server):
+        """Fig. 4: light models need far more prep cores per GPU than ResNet50.
+
+        Uses the ImageNet-like (120 KB items) dataset, matching the paper's
+        Fig. 4 setting where ResNet50 needs only 3-4 cores per GPU.
+        """
+        light = cores_needed_per_gpu(ALEXNET, tiny_dataset, ssd_server)
+        heavy = cores_needed_per_gpu(RESNET50, tiny_dataset, ssd_server)
+        assert heavy <= 5
+        assert light > 2 * heavy
+
+    def test_faster_gpu_worsens_stalls(self, profile):
+        """Sec. 3.4: doubling GPU speed without faster fetch/prep adds stalls."""
+        base = DataStallPredictor(profile).predict(0.35)
+        future = DataStallPredictor(with_faster_gpu(profile, 2.0)).predict(0.35)
+        assert future.gpu_rate == pytest.approx(2 * base.gpu_rate)
+        assert future.training_speed <= 2 * base.training_speed
+        total_stall_base = base.fetch_stall_fraction + base.prep_stall_fraction
+        total_stall_future = future.fetch_stall_fraction + future.prep_stall_fraction
+        assert total_stall_future >= total_stall_base
+
+    def test_with_faster_gpu_validation(self, profile):
+        with pytest.raises(ConfigurationError):
+            with_faster_gpu(profile, 0)
+
+
+class TestReports:
+    def test_report_formatting_contains_key_fields(self, profile, small_dataset):
+        predictor = DataStallPredictor(profile)
+        assert "GPU ingestion rate" in format_profile(profile)
+        assert "cache=" in format_prediction(predictor.predict(0.5))
+        sweep_text = format_sweep(sweep_cache_fractions(predictor, [0.0, 1.0]))
+        assert sweep_text.count("cache=") == 2
+        rec = optimal_cache_fraction(predictor, small_dataset)
+        assert "Recommended cache" in format_recommendation(rec)
+        assert "Fetch stall" in summarize(predictor, 0.35)

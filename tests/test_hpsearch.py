@@ -1,0 +1,158 @@
+"""Tests for the HP-search scheduler substrate and end-to-end campaigns."""
+
+import pytest
+
+from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
+from repro.compute.model_zoo import RESNET18
+from repro.exceptions import ConfigurationError
+from repro.hpsearch.campaign import SearchCampaign
+from repro.hpsearch.scheduler import (
+    HyperbandScheduler,
+    SuccessiveHalvingScheduler,
+    Trial,
+    sample_trials,
+)
+
+
+class TestTrials:
+    def test_sampling_is_deterministic_and_in_range(self):
+        a = sample_trials(16, seed=3)
+        b = sample_trials(16, seed=3)
+        assert [t.learning_rate for t in a] == [t.learning_rate for t in b]
+        for trial in a:
+            assert 1e-3 <= trial.learning_rate <= 1.0
+            assert 0.5 <= trial.momentum <= 0.99
+
+    def test_accuracy_improves_with_training(self):
+        import numpy as np
+        trial = Trial(0, learning_rate=0.1, momentum=0.9)
+        rng = np.random.default_rng(0)
+        accuracies = [trial.train_one_epoch(rng) for _ in range(10)]
+        assert accuracies[-1] > accuracies[0]
+
+    def test_good_configuration_beats_bad_one(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        good = Trial(0, learning_rate=0.1, momentum=0.9)
+        bad = Trial(1, learning_rate=0.001, momentum=0.5)
+        for _ in range(12):
+            good.train_one_epoch(rng)
+            bad.train_one_epoch(rng)
+        assert good.last_accuracy > bad.last_accuracy
+
+    def test_stopped_trial_cannot_train(self):
+        import numpy as np
+        trial = Trial(0, 0.1, 0.9, alive=False)
+        with pytest.raises(ConfigurationError):
+            trial.train_one_epoch(np.random.default_rng(0))
+
+    def test_sampling_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_trials(0)
+
+
+class TestSuccessiveHalving:
+    def test_eliminates_down_to_one_winner(self):
+        scheduler = SuccessiveHalvingScheduler(eta=2, min_epochs_per_rung=1,
+                                               max_total_epochs_per_trial=8)
+        trials = sample_trials(16, seed=1)
+        best, rungs = scheduler.run(trials, seed=1)
+        assert best.alive
+        assert sum(t.alive for t in trials) == 1
+        # Survivors shrink by ~eta at every elimination rung.
+        elimination_rungs = [r for r in rungs if r.survivors_after < r.survivors_before]
+        for rung in elimination_rungs:
+            assert rung.survivors_after == max(1, rung.survivors_before // 2)
+
+    def test_decisions_only_at_epoch_boundaries(self):
+        """The property coordinated prep relies on (Sec. 4.3)."""
+        scheduler = SuccessiveHalvingScheduler(eta=3, min_epochs_per_rung=2,
+                                               max_total_epochs_per_trial=6)
+        trials = sample_trials(9, seed=2)
+        _best, rungs = scheduler.run(trials, seed=2)
+        assert all(isinstance(r.epochs, int) and r.epochs >= 1 for r in rungs)
+
+    def test_total_trial_epochs_much_less_than_full_grid(self):
+        scheduler = SuccessiveHalvingScheduler(eta=2, min_epochs_per_rung=1,
+                                               max_total_epochs_per_trial=8)
+        trials = sample_trials(16, seed=1)
+        _best, rungs = scheduler.run(trials, seed=1)
+        total = scheduler.total_trial_epochs(rungs)
+        assert total < 16 * 8          # cheaper than training all trials fully
+        assert total >= 16             # every trial trained at least one epoch
+
+    def test_winner_is_a_good_configuration(self):
+        scheduler = SuccessiveHalvingScheduler(eta=2, min_epochs_per_rung=2,
+                                               max_total_epochs_per_trial=12)
+        trials = sample_trials(16, seed=5)
+        best, _ = scheduler.run(trials, seed=5)
+        median_acc = sorted(t.last_accuracy for t in trials)[len(trials) // 2]
+        assert best.last_accuracy >= median_acc
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SuccessiveHalvingScheduler(eta=1)
+        with pytest.raises(ConfigurationError):
+            SuccessiveHalvingScheduler(min_epochs_per_rung=0)
+        with pytest.raises(ConfigurationError):
+            SuccessiveHalvingScheduler().run([])
+
+
+class TestHyperband:
+    def test_bracket_structure(self):
+        hyperband = HyperbandScheduler(max_epochs_per_trial=9, eta=3)
+        assert hyperband.num_brackets == 3
+        sizes = hyperband.bracket_sizes()
+        # Earlier brackets start with more trials and smaller budgets.
+        assert sizes[0][0] >= sizes[-1][0]
+        assert sizes[0][1] <= sizes[-1][1]
+
+    def test_run_returns_best_and_budget(self):
+        hyperband = HyperbandScheduler(max_epochs_per_trial=9, eta=3)
+        best, total_epochs, rungs = hyperband.run(seed=0)
+        assert best.last_accuracy > 0.3
+        assert total_epochs > 0
+        assert set(rungs) == set(range(hyperband.num_brackets))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HyperbandScheduler(max_epochs_per_trial=0)
+
+
+class TestSearchCampaign:
+    @pytest.fixture
+    def campaign_args(self, small_dataset):
+        server = config_ssd_v100(cache_bytes=small_dataset.total_bytes * 0.75)
+        return dict(model=RESNET18, dataset=small_dataset, server=server,
+                    num_trials=16, max_epochs_per_trial=4)
+
+    def test_campaign_runs_and_ranks_loaders(self, campaign_args):
+        campaign = SearchCampaign(**campaign_args)
+        pytorch = campaign.run("pytorch")
+        coordl = campaign.run("coordl")
+        # Same scheduler decisions, different wall-clock time.
+        assert pytorch.total_trial_epochs == coordl.total_trial_epochs
+        assert coordl.wall_clock_s < pytorch.wall_clock_s
+        assert coordl.best_accuracy == pytest.approx(pytorch.best_accuracy)
+
+    def test_campaign_speedups_on_both_server_skus(self, small_dataset):
+        ssd = config_ssd_v100(cache_bytes=small_dataset.total_bytes * 0.75)
+        hdd = config_hdd_1080ti(cache_bytes=small_dataset.total_bytes * 0.75)
+        ssd_speedup = SearchCampaign(RESNET18, small_dataset, ssd, num_trials=8,
+                                     max_epochs_per_trial=2).speedup("pytorch")
+        hdd_speedup = SearchCampaign(RESNET18, small_dataset, hdd, num_trials=8,
+                                     max_epochs_per_trial=2).speedup("pytorch")
+        # Against the slow Pillow-based baseline the coordinated pipeline wins
+        # on both SKUs (the paper's end-to-end Fig. 23 result).
+        assert ssd_speedup > 1.5
+        assert hdd_speedup > 1.5
+
+    def test_unknown_loader_rejected(self, campaign_args):
+        campaign = SearchCampaign(**campaign_args)
+        with pytest.raises(ConfigurationError):
+            campaign.run("tf-data")
+
+    def test_validation(self, campaign_args):
+        campaign_args = dict(campaign_args, num_trials=0)
+        with pytest.raises(ConfigurationError):
+            SearchCampaign(**campaign_args)

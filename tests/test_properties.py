@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache
+from repro.cache.minio import MinIOCache
+from repro.cache.page_cache import PageCache
+from repro.coordl.coordinated_prep import CoordinatedPrepPlan
+from repro.coordl.staging import StagingArea
+from repro.datasets.catalog import DatasetSpec
+from repro.datasets.dataset import SyntheticDataset
+from repro.datasets.sampler import (
+    BatchSampler,
+    DistributedSampler,
+    RandomSampler,
+    ShuffleBufferSampler,
+    verify_epoch_invariant,
+)
+from repro.sim.engine import pipeline_makespan
+
+# Shared strategies ---------------------------------------------------------
+
+item_counts = st.integers(min_value=1, max_value=300)
+seeds = st.integers(min_value=0, max_value=2**16)
+sizes = st.floats(min_value=1.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def _access_pattern(num_items: int, length: int, seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_items, size=length).tolist()
+
+
+# Samplers -------------------------------------------------------------------
+
+class TestSamplerProperties:
+    @given(n=item_counts, seed=seeds, epoch=st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_random_sampler_always_yields_a_permutation(self, n, seed, epoch):
+        order = RandomSampler(n, seed=seed).epoch(epoch)
+        assert verify_epoch_invariant(order, n)
+
+    @given(n=item_counts, buffer=st.integers(1, 64), seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_shuffle_buffer_sampler_preserves_the_epoch_invariant(self, n, buffer, seed):
+        order = ShuffleBufferSampler(n, buffer_size=buffer, seed=seed).epoch(0)
+        assert verify_epoch_invariant(order, n)
+
+    @given(n=st.integers(2, 300), replicas=st.integers(1, 8), seed=seeds,
+           epoch=st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_distributed_shards_partition_every_epoch(self, n, replicas, seed, epoch):
+        replicas = min(replicas, n)
+        shards = [DistributedSampler(n, replicas, r, seed=seed).epoch(epoch)
+                  for r in range(replicas)]
+        assert verify_epoch_invariant(np.concatenate(shards), n)
+
+    @given(n=item_counts, batch=st.integers(1, 64), drop_last=st.booleans(), seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_sampler_covers_or_truncates_consistently(self, n, batch, drop_last, seed):
+        batcher = BatchSampler(RandomSampler(n, seed=seed), batch, drop_last=drop_last)
+        batches = batcher.epoch(0)
+        assert len(batches) == batcher.batches_per_epoch()
+        flattened = np.concatenate(batches) if batches else np.array([], dtype=int)
+        if drop_last:
+            assert len(flattened) == (n // batch) * batch
+            assert len(set(flattened.tolist())) == len(flattened)
+        else:
+            assert verify_epoch_invariant(flattened, n)
+
+
+# Caches ----------------------------------------------------------------------
+
+class TestCacheProperties:
+    @given(capacity=st.floats(min_value=100.0, max_value=1e5),
+           accesses=st.lists(st.tuples(st.integers(0, 50), sizes), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_lru_never_exceeds_capacity(self, capacity, accesses):
+        cache = LRUCache(capacity)
+        for item, size in accesses:
+            if not cache.lookup(item):
+                cache.admit(item, size)
+            assert cache.used_bytes <= capacity + 1e-9
+
+    @given(capacity=st.floats(min_value=100.0, max_value=1e5),
+           accesses=st.lists(st.tuples(st.integers(0, 50), sizes), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_minio_never_exceeds_capacity_and_never_evicts(self, capacity, accesses):
+        cache = MinIOCache(capacity)
+        admitted = set()
+        for item, size in accesses:
+            hit = cache.lookup(item)
+            assert hit == (item in admitted)
+            if not hit and cache.admit(item, size):
+                admitted.add(item)
+            assert cache.used_bytes <= capacity + 1e-9
+        assert cache.stats.evictions == 0
+        # Everything admitted is still resident (the MinIO invariant).
+        for item in admitted:
+            assert item in cache
+
+    @given(capacity_pages=st.integers(2, 40), num_items=st.integers(1, 60),
+           length=st.integers(1, 300), seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_page_cache_capacity_and_stats_invariants(self, capacity_pages, num_items,
+                                                      length, seed):
+        cache = PageCache(capacity_pages * 4096.0)
+        pattern = _access_pattern(num_items, length, seed)
+        for item in pattern:
+            if not cache.lookup(item):
+                cache.admit(item, 4096.0)
+            assert cache.used_bytes <= cache.capacity_bytes + 1e-9
+            assert cache.active_bytes <= cache.capacity_bytes + 1e-9
+        assert cache.stats.accesses == length
+        assert cache.stats.hits + cache.stats.misses == length
+
+    @given(fraction=st.floats(min_value=0.1, max_value=0.9),
+           num_items=st.integers(20, 150), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_minio_epoch_hits_equal_cached_items(self, fraction, num_items, seed):
+        """The defining MinIO property for any dataset and cache fraction."""
+        spec = DatasetSpec("prop", "image_classification", num_items, 10_000.0,
+                           item_size_cv=0.3)
+        dataset = SyntheticDataset(spec, seed=seed)
+        cache = MinIOCache(dataset.total_bytes * fraction)
+        sampler = RandomSampler(num_items, seed=seed)
+        for item in sampler.epoch(0):      # warm-up epoch
+            item = int(item)
+            if not cache.lookup(item):
+                cache.admit(item, dataset.item_size(item))
+        resident = len(list(cache.cached_items()))
+        cache.reset_stats()
+        for item in sampler.epoch(1):
+            item = int(item)
+            if not cache.lookup(item):
+                cache.admit(item, dataset.item_size(item))
+        assert cache.stats.hits == resident
+
+    @given(fraction=st.floats(min_value=0.1, max_value=0.9),
+           num_items=st.integers(30, 150), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_minio_steady_state_misses_never_above_page_cache(self, fraction, num_items,
+                                                              seed):
+        """MinIO is at least as effective as the page cache for DNN epochs."""
+        spec = DatasetSpec("prop2", "image_classification", num_items, 10_000.0,
+                           item_size_cv=0.2)
+        dataset = SyntheticDataset(spec, seed=seed)
+        minio = MinIOCache(dataset.total_bytes * fraction)
+        page = PageCache(dataset.total_bytes * fraction, page_bytes=1.0)
+        sampler = RandomSampler(num_items, seed=seed)
+        for epoch in range(3):
+            if epoch == 2:
+                minio.reset_stats()
+                page.reset_stats()
+            for item in sampler.epoch(epoch):
+                item = int(item)
+                size = dataset.item_size(item)
+                if not minio.lookup(item):
+                    minio.admit(item, size)
+                if not page.lookup(item):
+                    page.admit(item, size)
+        assert minio.stats.misses <= page.stats.misses
+
+
+# Coordinated prep -------------------------------------------------------------
+
+class TestCoordinationProperties:
+    @given(num_items=st.integers(4, 200), num_jobs=st.integers(1, 8),
+           batch=st.integers(1, 32), epoch=st.integers(0, 3), seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_plan_always_covers_dataset_exactly_once(self, num_items, num_jobs, batch,
+                                                     epoch, seed):
+        spec = DatasetSpec("plan", "image_classification", num_items, 10_000.0)
+        dataset = SyntheticDataset(spec, seed=0)
+        plan = CoordinatedPrepPlan(dataset, num_jobs, batch, epoch=epoch, seed=seed)
+        assert plan.covers_dataset_exactly_once()
+        assert plan.unique_item_fetches() == num_items
+
+    @given(num_jobs=st.integers(1, 6), num_batches=st.integers(1, 30),
+           bytes_per_batch=st.floats(1.0, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_staging_area_is_empty_after_full_consumption(self, num_jobs, num_batches,
+                                                          bytes_per_batch):
+        staging = StagingArea(num_jobs)
+        for batch_id in range(num_batches):
+            staging.stage(batch_id, 0, batch_id % num_jobs, [batch_id], bytes_per_batch)
+            for job in range(num_jobs):
+                staging.consume(job, batch_id)
+        assert staging.staged_batches == 0
+        assert staging.current_bytes == pytest.approx(0.0, abs=1e-6)
+        assert staging.consumptions == num_jobs * num_batches
+
+
+# Pipeline makespan -------------------------------------------------------------
+
+class TestMakespanProperties:
+    @given(times=st.lists(
+        st.tuples(st.floats(0.001, 1.0), st.floats(0.001, 1.0), st.floats(0.001, 1.0)),
+        min_size=1, max_size=60),
+        depth=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounded_by_stage_sums_and_serial_time(self, times, depth):
+        fetch = [t[0] for t in times]
+        prep = [t[1] for t in times]
+        gpu = [t[2] for t in times]
+        makespan = pipeline_makespan([fetch, prep, gpu], queue_depth=depth)
+        serial = sum(fetch) + sum(prep) + sum(gpu)
+        bottleneck = max(sum(fetch), sum(prep), sum(gpu))
+        assert bottleneck - 1e-9 <= makespan <= serial + 1e-9
+
+    @given(times=st.lists(st.floats(0.001, 1.0), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_monotone_in_stage_times(self, times):
+        base = pipeline_makespan([times, times, times])
+        slower = pipeline_makespan([[2 * t for t in times], times, times])
+        assert slower >= base

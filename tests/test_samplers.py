@@ -1,0 +1,110 @@
+"""Unit tests for the epoch samplers and batch sampler."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sampler import (
+    BatchSampler,
+    DistributedSampler,
+    RandomSampler,
+    SequentialSampler,
+    ShuffleBufferSampler,
+    verify_epoch_invariant,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSequentialSampler:
+    def test_yields_storage_order(self):
+        sampler = SequentialSampler(10)
+        assert list(sampler.epoch(0)) == list(range(10))
+        assert list(sampler.epoch(3)) == list(range(10))
+
+
+class TestRandomSampler:
+    def test_every_epoch_is_a_permutation(self):
+        sampler = RandomSampler(50, seed=3)
+        for epoch in range(3):
+            assert verify_epoch_invariant(sampler.epoch(epoch), 50)
+
+    def test_epochs_differ(self):
+        sampler = RandomSampler(100, seed=3)
+        assert not np.array_equal(sampler.epoch(0), sampler.epoch(1))
+
+    def test_same_seed_reproducible(self):
+        a = RandomSampler(100, seed=9)
+        b = RandomSampler(100, seed=9)
+        assert np.array_equal(a.epoch(2), b.epoch(2))
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ConfigurationError):
+            RandomSampler(0)
+
+
+class TestShuffleBufferSampler:
+    def test_training_order_is_a_permutation(self):
+        sampler = ShuffleBufferSampler(64, buffer_size=8, seed=0)
+        assert verify_epoch_invariant(sampler.epoch(0), 64)
+
+    def test_storage_order_is_sequential(self):
+        sampler = ShuffleBufferSampler(64, buffer_size=8, seed=0)
+        assert list(sampler.storage_order(0)) == list(range(64))
+
+    def test_shuffling_is_bounded_by_the_window(self):
+        # An item cannot appear in the output earlier than its own position
+        # minus the buffer size, nor arbitrarily later than buffer allows.
+        n, window = 200, 10
+        sampler = ShuffleBufferSampler(n, buffer_size=window, seed=1)
+        order = list(sampler.epoch(0))
+        for out_pos, item in enumerate(order):
+            assert item <= out_pos + window - 1
+
+    def test_rejects_non_positive_buffer(self):
+        with pytest.raises(ConfigurationError):
+            ShuffleBufferSampler(10, buffer_size=0)
+
+
+class TestDistributedSampler:
+    def test_shards_are_disjoint_and_cover_dataset(self):
+        n, replicas = 103, 4
+        samplers = [DistributedSampler(n, replicas, r, seed=5) for r in range(replicas)]
+        combined = np.concatenate([s.epoch(2) for s in samplers])
+        assert verify_epoch_invariant(combined, n)
+
+    def test_shards_change_every_epoch(self):
+        sampler = DistributedSampler(1000, 2, 0, seed=5)
+        assert set(sampler.epoch(0)) != set(sampler.epoch(1))
+
+    def test_rank_validation(self):
+        with pytest.raises(ConfigurationError):
+            DistributedSampler(10, 2, 2)
+        with pytest.raises(ConfigurationError):
+            DistributedSampler(10, 0, 0)
+
+
+class TestBatchSampler:
+    def test_batches_cover_the_epoch(self):
+        batcher = BatchSampler(RandomSampler(100, seed=0), batch_size=16)
+        batches = batcher.epoch(0)
+        assert verify_epoch_invariant(np.concatenate(batches), 100)
+
+    def test_batch_count_without_drop_last(self):
+        batcher = BatchSampler(RandomSampler(100, seed=0), batch_size=16)
+        assert batcher.batches_per_epoch() == 7
+        assert len(batcher.epoch(0)) == 7
+
+    def test_drop_last_drops_partial_batch(self):
+        batcher = BatchSampler(RandomSampler(100, seed=0), batch_size=16, drop_last=True)
+        assert batcher.batches_per_epoch() == 6
+        assert all(len(b) == 16 for b in batcher.epoch(0))
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            BatchSampler(RandomSampler(10), batch_size=0)
+
+
+class TestEpochInvariantHelper:
+    def test_detects_missing_and_duplicate_items(self):
+        assert verify_epoch_invariant([0, 1, 2], 3)
+        assert not verify_epoch_invariant([0, 1, 1], 3)
+        assert not verify_epoch_invariant([0, 1], 3)

@@ -1,0 +1,164 @@
+"""Tests for the scenario drivers: single-server, distributed, HP search, accuracy."""
+
+import pytest
+
+from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
+from repro.compute.model_zoo import ALEXNET, AUDIO_M5, RESNET18, RESNET50
+from repro.exceptions import ConfigurationError
+from repro.sim.accuracy import AccuracyCurve, resnet50_imagenet_curve, time_to_accuracy
+from repro.sim.distributed import DistributedTraining
+from repro.sim.hp_search import HPSearchScenario
+from repro.sim.single_server import LOADER_KINDS, SingleServerTraining, build_loader
+
+
+class TestSingleServerTraining:
+    def test_all_loader_kinds_build(self, small_dataset, ssd_server):
+        from repro.sim.single_server import effective_batch_size
+        expected = effective_batch_size(small_dataset,
+                                        RESNET18.batch_size * ssd_server.num_gpus)
+        for kind in LOADER_KINDS:
+            loader = build_loader(kind, small_dataset, ssd_server, RESNET18)
+            assert loader.batch_size() == expected
+        explicit = build_loader("dali-shuffle", small_dataset, ssd_server, RESNET18,
+                                batch_size=128)
+        assert explicit.batch_size() == 128
+
+    def test_unknown_loader_kind_rejected(self, small_dataset, ssd_server):
+        with pytest.raises(ConfigurationError):
+            build_loader("tf-data", small_dataset, ssd_server, RESNET18)
+
+    def test_coordl_at_least_as_fast_as_dali_when_partially_cached(self, small_dataset,
+                                                                   ssd_server):
+        server = ssd_server.with_cache_bytes(small_dataset.total_bytes * 0.5)
+        training = SingleServerTraining(RESNET18, small_dataset, server, num_epochs=2)
+        dali = training.run("dali-shuffle").steady_epoch_time_s
+        coordl = training.run("coordl").steady_epoch_time_s
+        assert coordl <= dali * 1.01
+
+    def test_coordl_reduces_disk_io_to_capacity_misses(self, small_dataset, ssd_server):
+        fraction = 0.6
+        server = ssd_server.with_cache_bytes(small_dataset.total_bytes * fraction)
+        training = SingleServerTraining(RESNET18, small_dataset, server, num_epochs=2)
+        epoch = training.run("coordl").run.steady_epoch()
+        assert epoch.cache_miss_ratio == pytest.approx(1 - fraction, abs=0.08)
+
+    def test_requires_warmup_plus_measured_epoch(self, small_dataset, ssd_server):
+        with pytest.raises(ConfigurationError):
+            SingleServerTraining(RESNET18, small_dataset, ssd_server, num_epochs=1)
+
+    def test_fully_cached_run_has_no_fetch_stall(self, small_dataset, ssd_server):
+        server = ssd_server.with_cache_bytes(small_dataset.total_bytes * 1.5)
+        training = SingleServerTraining(RESNET50, small_dataset, server, num_epochs=2)
+        epoch = training.run("coordl").run.steady_epoch()
+        assert epoch.fetch_stall_fraction < 0.02
+
+
+class TestDistributedTraining:
+    def _servers(self, dataset, fraction, n=2):
+        return [config_hdd_1080ti(cache_bytes=dataset.total_bytes * fraction)
+                for _ in range(n)]
+
+    def test_partitioned_cache_eliminates_disk_io_when_covered(self, small_dataset):
+        servers = self._servers(small_dataset, 0.6)
+        training = DistributedTraining(RESNET18, small_dataset, servers, num_epochs=2)
+        coordl = training.run_coordl()
+        steady = coordl.steady_epochs()[-1]
+        assert steady.total_disk_bytes == 0.0
+        assert steady.total_remote_bytes > 0.0
+
+    def test_coordl_beats_baseline_on_hdd(self, small_dataset):
+        servers = self._servers(small_dataset, 0.6)
+        training = DistributedTraining(ALEXNET, small_dataset, servers, num_epochs=2)
+        baseline = training.run_baseline()
+        coordl = training.run_coordl()
+        assert coordl.steady_epoch_time_s < baseline.steady_epoch_time_s / 2
+
+    def test_job_epoch_time_is_slowest_server(self, small_dataset):
+        servers = self._servers(small_dataset, 0.5)
+        training = DistributedTraining(RESNET18, small_dataset, servers, num_epochs=2)
+        epoch = training.run_baseline().epochs[-1]
+        assert epoch.epoch_time_s == max(s.epoch_time_s for s in epoch.per_server)
+
+    def test_validation(self, small_dataset, hdd_server):
+        with pytest.raises(ConfigurationError):
+            DistributedTraining(RESNET18, small_dataset, [hdd_server], num_epochs=2)
+        with pytest.raises(ConfigurationError):
+            DistributedTraining(RESNET18, small_dataset, [hdd_server, hdd_server],
+                                num_epochs=1)
+
+
+class TestHPSearchScenario:
+    def test_coordl_faster_than_baseline_with_partial_cache(self, small_dataset,
+                                                            ssd_server):
+        scenario = HPSearchScenario(ALEXNET, small_dataset, ssd_server, num_jobs=8,
+                                    gpus_per_job=1,
+                                    cache_bytes=small_dataset.total_bytes * 0.5)
+        assert scenario.speedup() > 1.2
+
+    def test_coordinated_prep_removes_redundant_fetches(self, small_dataset, ssd_server):
+        scenario = HPSearchScenario(ALEXNET, small_dataset, ssd_server, num_jobs=8,
+                                    gpus_per_job=1,
+                                    cache_bytes=small_dataset.total_bytes * 0.5)
+        baseline = scenario.run_baseline()
+        coordl = scenario.run_coordl()
+        # The baseline reads (several times) more bytes from disk per epoch.
+        assert baseline.disk_bytes_per_epoch > 3 * coordl.disk_bytes_per_epoch
+        assert coordl.staging_peak_bytes > 0
+
+    def test_fully_cached_speedup_comes_from_prep_only(self, small_dataset, ssd_server):
+        scenario = HPSearchScenario(ALEXNET, small_dataset, ssd_server, num_jobs=8,
+                                    gpus_per_job=1,
+                                    cache_bytes=small_dataset.total_bytes * 1.5)
+        baseline = scenario.run_baseline()
+        coordl = scenario.run_coordl()
+        assert baseline.disk_bytes_per_epoch == 0.0
+        assert baseline.prep_bound or baseline.gpu_bound
+        assert coordl.epoch_time_s <= baseline.epoch_time_s
+
+    def test_gpu_oversubscription_rejected(self, small_dataset, ssd_server):
+        with pytest.raises(ConfigurationError):
+            HPSearchScenario(ALEXNET, small_dataset, ssd_server, num_jobs=8,
+                             gpus_per_job=2)
+
+    def test_audio_model_is_io_bound_then_fixed_by_coordl(self, ssd_server):
+        from repro.datasets.catalog import FMA
+        from repro.datasets.dataset import SyntheticDataset
+        fma = SyntheticDataset(FMA, seed=0, scale=1 / 500)
+        scenario = HPSearchScenario(AUDIO_M5, fma, ssd_server, num_jobs=8,
+                                    gpus_per_job=1,
+                                    cache_bytes=fma.total_bytes * 0.45)
+        baseline = scenario.run_baseline()
+        assert baseline.fetch_bound
+        assert scenario.speedup() > 2.0
+
+
+class TestAccuracyModel:
+    def test_curve_is_monotone_and_saturating(self):
+        curve = resnet50_imagenet_curve()
+        accuracies = [curve.accuracy_at_epoch(e) for e in range(0, 120, 10)]
+        assert accuracies == sorted(accuracies)
+        assert accuracies[-1] < curve.max_accuracy
+
+    def test_target_reached_in_reasonable_epochs(self):
+        curve = resnet50_imagenet_curve()
+        epochs = curve.epochs_to_accuracy(0.759)
+        assert 60 <= epochs <= 120
+        assert curve.accuracy_at_epoch(epochs) == pytest.approx(0.759, abs=1e-6)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resnet50_imagenet_curve().epochs_to_accuracy(0.99)
+
+    def test_time_to_accuracy_scales_with_epoch_time(self):
+        curve = resnet50_imagenet_curve()
+        slow = time_to_accuracy("dali", 3600.0, curve, 0.759)
+        fast = time_to_accuracy("coordl", 900.0, curve, 0.759)
+        assert slow.epochs_needed == pytest.approx(fast.epochs_needed)
+        assert slow.time_to_accuracy_s == pytest.approx(4 * fast.time_to_accuracy_s)
+        assert len(fast.trajectory) >= int(fast.epochs_needed)
+
+    def test_curve_validation(self):
+        with pytest.raises(ConfigurationError):
+            AccuracyCurve(max_accuracy=1.5)
+        with pytest.raises(ConfigurationError):
+            AccuracyCurve(tau_epochs=0)

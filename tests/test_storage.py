@@ -1,0 +1,98 @@
+"""Unit tests for storage devices, the file store, and I/O accounting."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.storage.device import StorageDevice, dram, hdd, sata_ssd
+from repro.storage.filestore import FileStore
+from repro.storage.iostats import IOStats
+
+
+class TestStorageDevice:
+    def test_read_time_scales_with_size(self):
+        ssd = sata_ssd()
+        assert ssd.read_time(units.MBps(530)) == pytest.approx(1.0, rel=0.01)
+        assert ssd.read_time(0.0) == pytest.approx(ssd.request_overhead_s)
+
+    def test_sequential_reads_use_sequential_bandwidth(self):
+        disk = hdd()
+        random_t = disk.read_time(10e6, sequential=False)
+        seq_t = disk.read_time(10e6, sequential=True)
+        assert seq_t < random_t
+
+    def test_effective_rate_below_nominal_for_small_requests(self):
+        disk = hdd()
+        # An 8 ms seek dominates a 100 KB read: effective rate << 15 MB/s.
+        assert disk.effective_rate(100_000) < disk.random_read_bw
+
+    def test_paper_rates(self):
+        assert sata_ssd().random_read_bw == units.MBps(530)
+        assert hdd().random_read_bw == units.MBps(15)
+        assert dram().random_read_bw > units.GBps(10)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StorageDevice("bad", random_read_bw=0, sequential_read_bw=1)
+        with pytest.raises(ConfigurationError):
+            StorageDevice("bad", random_read_bw=1, sequential_read_bw=1,
+                          request_overhead_s=-1)
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sata_ssd().read_time(-1)
+
+
+class TestIOStats:
+    def test_counters_accumulate_by_source(self):
+        stats = IOStats()
+        stats.record_disk(100.0)
+        stats.record_disk(200.0, at_time=1.0)
+        stats.record_cache(50.0)
+        stats.record_remote(25.0)
+        assert stats.disk_bytes == 300.0
+        assert stats.disk_requests == 2
+        assert stats.cache_requests == 1
+        assert stats.remote_requests == 1
+        assert stats.total_bytes == 375.0
+        assert stats.total_requests == 4
+        assert stats.timeline == [(1.0, 300.0)]
+
+    def test_hit_ratio(self):
+        stats = IOStats()
+        assert stats.cache_hit_ratio == 0.0
+        stats.record_cache(1.0)
+        stats.record_disk(1.0)
+        assert stats.cache_hit_ratio == pytest.approx(0.5)
+        assert stats.miss_ratio == pytest.approx(0.5)
+
+    def test_merge_and_reset(self):
+        a, b = IOStats(), IOStats()
+        a.record_disk(10.0, at_time=0.5)
+        b.record_cache(5.0)
+        merged = a.merged_with(b)
+        assert merged.disk_bytes == 10.0
+        assert merged.cache_bytes == 5.0
+        a.reset()
+        assert a.disk_bytes == 0.0
+        assert a.timeline == []
+
+
+class TestFileStore:
+    def test_reads_account_bytes_and_return_durations(self, tiny_dataset):
+        store = FileStore(tiny_dataset, sata_ssd())
+        duration = store.read_item(0)
+        assert duration > 0
+        assert store.stats.disk_bytes == pytest.approx(tiny_dataset.item_size(0))
+        assert store.stats.disk_requests == 1
+
+    def test_sequential_hint_changes_duration(self, tiny_dataset):
+        random_store = FileStore(tiny_dataset, hdd(), sequential_hint=False)
+        seq_store = FileStore(tiny_dataset, hdd(), sequential_hint=True)
+        assert seq_store.read_item(0) < random_store.read_item(0)
+
+    def test_reset_stats(self, tiny_dataset):
+        store = FileStore(tiny_dataset, sata_ssd())
+        store.read_item(1)
+        store.reset_stats()
+        assert store.stats.disk_requests == 0
