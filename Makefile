@@ -1,0 +1,22 @@
+# Development entry points.  Everything runs against the in-tree sources
+# (PYTHONPATH=src), so no editable install is required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench docs-check check
+
+## Tier-1 test suite (must stay green).
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+## Reproduce the paper's tables/figures and the sweep-speed benchmark.
+bench:
+	$(PYTHON) -m pytest -q benchmarks -s
+
+## Verify every repro.__all__ symbol is documented in docs/API.md.
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+## Everything the CI gate runs.
+check: test docs-check

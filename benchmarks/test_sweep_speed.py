@@ -1,0 +1,73 @@
+"""Benchmark: vectorised Fig. 3 cache sweep vs the per-batch reference path.
+
+Runs the identical sweep grid (ResNet18, DALI-shuffle + CoorDL, the six
+cache fractions of Fig. 3, two epochs each) twice through
+:class:`~repro.sim.sweep.SweepRunner` — once with the vectorised epoch fast
+path, once forced onto the per-batch ``fetch_batch`` loop — and asserts that
+
+* every simulated epoch time agrees within 1e-9 (the fast path is a
+  numerical fast path, not an approximation), and
+* the vectorised sweep is at least 3x faster end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.cluster.configs import config_ssd_v100
+from repro.compute.model_zoo import RESNET18
+from repro.experiments.base import SWEEP_SCALE
+from repro.experiments.fig3_cache_sweep import DEFAULT_FRACTIONS
+from repro.sim.sweep import SweepRunner
+
+#: Wall-clock advantage the vectorised sweep must demonstrate.
+MIN_SPEEDUP = 3.0
+
+#: Best-of repetitions per path (damps scheduler noise in the ratio).
+REPEATS = 2
+
+
+def _fig3_sweep(fast_path: bool) -> Tuple[float, Dict[tuple, List[float]]]:
+    """Run the Fig. 3 grid; return (elapsed seconds, per-point epoch times)."""
+    runner = SweepRunner(config_ssd_v100, scale=SWEEP_SCALE, seed=0,
+                         fast_path=fast_path)
+    points = SweepRunner.grid(models=[RESNET18],
+                              loaders=["dali-shuffle", "coordl"],
+                              cache_fractions=DEFAULT_FRACTIONS,
+                              dataset="openimages", num_epochs=2)
+    start = time.perf_counter()
+    sweep = runner.run(points)
+    elapsed = time.perf_counter() - start
+    epoch_times = {
+        (record.point.loader, record.point.cache_fraction):
+            [epoch.epoch_time_s for epoch in record.run.epochs]
+        for record in sweep
+    }
+    return elapsed, epoch_times
+
+
+def test_vectorized_fig3_sweep_is_3x_faster_and_exact(benchmark):
+    slow_elapsed = float("inf")
+    for _ in range(REPEATS):
+        elapsed, slow_times = _fig3_sweep(fast_path=False)
+        slow_elapsed = min(slow_elapsed, elapsed)
+
+    fast_runs = [_fig3_sweep(fast_path=True) for _ in range(REPEATS - 1)]
+    fast_times = benchmark.pedantic(
+        lambda: _fig3_sweep(fast_path=True), rounds=1, iterations=1)[1]
+    fast_elapsed = min([r[0] for r in fast_runs]
+                       + [benchmark.stats.stats.min])
+
+    assert set(fast_times) == set(slow_times)
+    worst = max(abs(a - b)
+                for key in slow_times
+                for a, b in zip(slow_times[key], fast_times[key]))
+    assert worst <= 1e-9, f"fast path diverged from reference by {worst}"
+
+    speedup = slow_elapsed / fast_elapsed
+    print(f"\nFig. 3 sweep: per-batch {slow_elapsed * 1e3:.0f} ms, "
+          f"vectorized {fast_elapsed * 1e3:.0f} ms -> {speedup:.2f}x "
+          f"(max epoch-time deviation {worst:.2e})")
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized sweep only {speedup:.2f}x faster (need {MIN_SPEEDUP}x)")

@@ -27,6 +27,9 @@ from repro.sim import (
     HPSearchScenario,
     PipelineSimulator,
     SingleServerTraining,
+    SweepPoint,
+    SweepResult,
+    SweepRunner,
 )
 
 __version__ = "1.0.0"
@@ -51,4 +54,7 @@ __all__ = [
     "SingleServerTraining",
     "DistributedTraining",
     "HPSearchScenario",
+    "SweepRunner",
+    "SweepPoint",
+    "SweepResult",
 ]

@@ -9,7 +9,9 @@ hits and how many bytes move.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Iterable, Optional
+
+import numpy as np
 
 from repro.cache.stats import CacheStats
 from repro.exceptions import ConfigurationError
@@ -64,6 +66,23 @@ class Cache(ABC):
     @abstractmethod
     def cached_items(self) -> Iterable[int]:
         """Ids of all currently cached items."""
+
+    def bulk_epoch_hits(self, item_ids: np.ndarray,
+                        sizes: np.ndarray) -> Optional[np.ndarray]:
+        """Apply one single-pass epoch of accesses in bulk, if analytic.
+
+        ``item_ids`` must be pairwise distinct (the DNN epoch invariant: every
+        item at most once per epoch).  When the policy's trajectory over such
+        a pass is analytically known, the cache applies *exactly* the
+        mutations and counter updates that per-item ``lookup`` + ``admit``
+        calls would have produced and returns the boolean hit mask.  When the
+        trajectory depends on state that must be mutated step by step, the
+        method returns ``None`` **without side effects** and the caller falls
+        back to the per-item path.
+
+        The default policy-agnostic answer is ``None``.
+        """
+        return None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.cached_items())

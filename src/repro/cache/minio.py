@@ -14,7 +14,9 @@ paper makes about its simplicity.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
+
+import numpy as np
 
 from repro.cache.base import Cache
 
@@ -26,6 +28,9 @@ class MinIOCache(Cache):
         super().__init__(capacity_bytes)
         self._entries: Dict[int, float] = {}
         self._used = 0.0
+        # Memoised membership table for the vectorised epoch path; rebuilt
+        # lazily after any per-item admission invalidates it.
+        self._member_table: Optional[np.ndarray] = None
 
     @property
     def used_bytes(self) -> float:
@@ -56,7 +61,70 @@ class MinIOCache(Cache):
         self._entries[item_id] = size_bytes
         self._used += size_bytes
         self._stats.insertions += 1
+        self._member_table = None
         return True
+
+    def bulk_epoch_hits(self, item_ids: np.ndarray,
+                        sizes: np.ndarray) -> Optional[np.ndarray]:
+        """One whole epoch of distinct accesses, vectorised.
+
+        MinIO's trajectory over a single-pass epoch is always analytic: it
+        never evicts, so an access hits iff the item was resident when the
+        epoch started (an item admitted mid-epoch is not re-requested within
+        the same epoch), and admissions are the greedy insert-while-space
+        scan over the missed items in access order.  The mask, counters and
+        cache contents after this call are identical to per-item ``lookup`` +
+        ``admit`` calls over the same access stream.
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.float64)
+        max_id = int(item_ids.max(initial=0))
+        table = self._member_table
+        if table is None or table.size <= max_id:
+            table = np.zeros(max_id + 1, dtype=bool)
+            if self._entries:
+                resident = np.fromiter(self._entries.keys(), dtype=np.int64,
+                                       count=len(self._entries))
+                table_size = int(max(max_id, resident.max())) + 1
+                table = np.zeros(table_size, dtype=bool)
+                table[resident] = True
+            self._member_table = table
+        hits = table[item_ids]
+
+        self._stats.hits += int(hits.sum())
+        self._stats.hit_bytes += float(sizes[hits].sum())
+        misses = ~hits
+        self._stats.misses += int(misses.sum())
+
+        miss_sizes = sizes[misses]
+        if miss_sizes.size:
+            # Greedy admission scan over the missed items in access order.
+            # The suffix-minimum lets the scan stop as soon as nothing that
+            # is still to come can possibly fit (O(1) on a full cache).
+            suffix_min = np.minimum.accumulate(miss_sizes[::-1])[::-1].tolist()
+            miss_ids = item_ids[misses].tolist()
+            size_list = miss_sizes.tolist()
+            capacity = self._capacity
+            used = self._used
+            admitted = 0
+            rejected = 0
+            for i, size in enumerate(size_list):
+                # Same expression shape as admit()'s test so the early stop
+                # is float-identical to rejecting each remaining item.
+                if used + suffix_min[i] > capacity:
+                    rejected += len(size_list) - i
+                    break
+                if used + size <= capacity:
+                    self._entries[miss_ids[i]] = size
+                    table[miss_ids[i]] = True
+                    used += size
+                    admitted += 1
+                else:
+                    rejected += 1
+            self._used = used
+            self._stats.insertions += admitted
+            self._stats.rejected += rejected
+        return hits
 
     @property
     def is_full(self) -> bool:
@@ -71,3 +139,4 @@ class MinIOCache(Cache):
         """Drop everything — only used when a training *job* ends."""
         self._entries.clear()
         self._used = 0.0
+        self._member_table = None

@@ -28,7 +28,9 @@ capacity-many hits per epoch — that is MinIO (:mod:`repro.cache.minio`).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable
+from typing import Iterable, Optional
+
+import numpy as np
 
 from repro.cache.base import Cache
 from repro.exceptions import ConfigurationError
@@ -160,6 +162,60 @@ class PageCache(Cache):
         self._inactive_bytes += size
         self._stats.insertions += 1
         return True
+
+    def bulk_epoch_hits(self, item_ids: np.ndarray,
+                        sizes: np.ndarray) -> Optional[np.ndarray]:
+        """One single-pass epoch of distinct accesses, in bulk.
+
+        The *cold* trajectory (empty cache) is closed-form: distinct items
+        are never re-referenced within the epoch, so every access misses,
+        nothing is promoted to the active list, and FIFO byte eviction leaves
+        exactly the maximal suffix of the admitted stream whose rounded sizes
+        fit in the capacity.  A *warm* page cache has no closed form — hits
+        promote pages and reshape both lists — so the warm path drives the
+        ordinary ``lookup``/``admit`` state machine item by item, just
+        without any loader-layer work per item; the caller derives timings
+        and I/O accounting from the returned mask vectorised.
+        """
+        if self._inactive or self._active:
+            return self._warm_epoch_hits(item_ids, sizes)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.float64)
+        rounded = np.maximum(np.ceil(sizes / self._page_bytes), 1.0) * self._page_bytes
+        fits = rounded <= self._capacity
+
+        self._stats.misses += int(item_ids.size)
+        self._stats.rejected += int((~fits).sum())
+        inserted_ids = item_ids[fits]
+        inserted_sizes = rounded[fits]
+        self._stats.insertions += int(inserted_ids.size)
+
+        # FIFO byte eviction keeps the maximal suffix of the insertion order
+        # whose total fits; everything inserted before it was evicted.
+        suffix_bytes = np.cumsum(inserted_sizes[::-1])
+        keep = int(np.searchsorted(suffix_bytes, self._capacity, side="right"))
+        self._evictions += int(inserted_ids.size) - keep
+        if keep:
+            for item_id, size in zip(inserted_ids[-keep:].tolist(),
+                                     inserted_sizes[-keep:].tolist()):
+                self._inactive[item_id] = size
+            self._inactive_bytes = float(inserted_sizes[-keep:].sum())
+        return np.zeros(item_ids.size, dtype=bool)
+
+    def _warm_epoch_hits(self, item_ids: np.ndarray,
+                         sizes: np.ndarray) -> np.ndarray:
+        """Exact warm-epoch sweep: per-item ``lookup`` + ``admit`` on miss."""
+        lookup = self.lookup
+        admit = self.admit
+        hits = np.empty(len(item_ids), dtype=bool)
+        for i, (item_id, size) in enumerate(zip(np.asarray(item_ids).tolist(),
+                                                np.asarray(sizes).tolist())):
+            if lookup(item_id):
+                hits[i] = True
+            else:
+                hits[i] = False
+                admit(item_id, size)
+        return hits
 
     def evict(self, item_id: int) -> bool:
         """Drop one item (posix_fadvise(DONTNEED)); True if it was present."""

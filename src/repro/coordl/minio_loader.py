@@ -14,7 +14,7 @@ from typing import Optional
 from repro.cache.minio import MinIOCache
 from repro.cluster.server import ServerConfig
 from repro.datasets.dataset import SyntheticDataset
-from repro.datasets.sampler import BatchSampler, RandomSampler
+from repro.datasets.sampler import BatchSampler, RandomSampler, Sampler
 from repro.pipeline.base import DataLoader
 from repro.prep.pipeline import PrepPipeline
 from repro.storage.filestore import FileStore
@@ -29,7 +29,8 @@ class CoorDLLoader(DataLoader):
     def build(cls, dataset: SyntheticDataset, server: ServerConfig,
               batch_size: int, gpu_prep: bool = False,
               num_gpus: Optional[int] = None, cores: Optional[float] = None,
-              cache: Optional[MinIOCache] = None, seed: int = 0) -> "CoorDLLoader":
+              cache: Optional[MinIOCache] = None, seed: int = 0,
+              sampler: Optional[Sampler] = None) -> "CoorDLLoader":
         """Construct a CoorDL loader for one training job on one server.
 
         Args:
@@ -42,13 +43,16 @@ class CoorDLLoader(DataLoader):
             cores: Physical prep cores for this job (default: all).
             cache: Existing MinIO cache to share (fresh one when omitted).
             seed: Sampler seed.
+            sampler: Ready-made item-order sampler to reuse (parameter sweeps
+                share one memoised sampler across loaders).
         """
         gpus = num_gpus if num_gpus is not None else server.num_gpus
         prep = PrepPipeline.for_task(dataset.spec.task, library="dali")
         prep = prep.with_scaled_cost(dataset.spec.prep_cost_scale)
         workers = server.worker_pool(cores=cores, gpu_offload=gpu_prep)
         minio = cache if cache is not None else MinIOCache(server.cache_bytes)
-        sampler = RandomSampler(len(dataset), seed=seed)
+        if sampler is None:
+            sampler = RandomSampler(len(dataset), seed=seed)
         return cls(
             dataset=dataset,
             store=FileStore(dataset, server.storage),
@@ -63,7 +67,8 @@ class CoorDLLoader(DataLoader):
 def best_coordl_loader(dataset: SyntheticDataset, server: ServerConfig,
                        batch_size: int, model_gpu_prep_interference: float = 0.0,
                        num_gpus: Optional[int] = None, cores: Optional[float] = None,
-                       cache: Optional[MinIOCache] = None, seed: int = 0) -> CoorDLLoader:
+                       cache: Optional[MinIOCache] = None, seed: int = 0,
+                       sampler: Optional[Sampler] = None) -> CoorDLLoader:
     """Pick CoorDL's CPU-prep or GPU-prep variant, whichever is faster.
 
     Mirrors :func:`repro.pipeline.dali.best_dali_loader` so comparisons are
@@ -71,10 +76,10 @@ def best_coordl_loader(dataset: SyntheticDataset, server: ServerConfig,
     """
     cpu_loader = CoorDLLoader.build(dataset, server, batch_size, gpu_prep=False,
                                     num_gpus=num_gpus, cores=cores, cache=cache,
-                                    seed=seed)
+                                    seed=seed, sampler=sampler)
     gpu_loader = CoorDLLoader.build(dataset, server, batch_size, gpu_prep=True,
                                     num_gpus=num_gpus, cores=cores, cache=cache,
-                                    seed=seed)
+                                    seed=seed, sampler=sampler)
     cpu_rate = cpu_loader.prep_rate()
     gpu_rate = gpu_loader.prep_rate() * (1.0 - model_gpu_prep_interference)
     return gpu_loader if gpu_rate > cpu_rate else cpu_loader

@@ -85,6 +85,17 @@ class SyntheticDataset:
             raise UnknownItemError(f"item {item_id} not in dataset of {len(self)} items")
         return float(self._item_sizes[item_id])
 
+    def item_sizes(self, item_ids: Sequence[int]) -> np.ndarray:
+        """Per-item on-disk sizes for a collection of items (vectorised).
+
+        Raises:
+            UnknownItemError: if any id is out of range.
+        """
+        ids = np.asarray(item_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= len(self)):
+            raise UnknownItemError("item id out of range")
+        return self._item_sizes[ids]
+
     def items_size(self, item_ids: Sequence[int]) -> float:
         """Total size in bytes of a collection of items."""
         ids = np.asarray(item_ids, dtype=np.int64)

@@ -148,6 +148,34 @@ class DistributedSampler(Sampler):
         return perm[lo:hi]
 
 
+class CachingSampler(Sampler):
+    """Memoising wrapper sharing one sampler's epoch orders across loaders.
+
+    Parameter sweeps re-simulate the same (dataset, seed) pair under many
+    configurations; every loader would otherwise redraw the identical
+    per-epoch permutation.  The wrapper delegates to the inner sampler and
+    caches each epoch's order.  Callers must treat the returned arrays as
+    read-only (all library code does).
+    """
+
+    def __init__(self, inner: Sampler) -> None:
+        super().__init__(inner.num_items, seed=inner._seed)
+        self._inner = inner
+        self._orders: dict = {}
+
+    @property
+    def inner(self) -> Sampler:
+        """The sampler whose epochs are being memoised."""
+        return self._inner
+
+    def epoch(self, epoch_index: int) -> np.ndarray:
+        order = self._orders.get(epoch_index)
+        if order is None:
+            order = self._inner.epoch(epoch_index)
+            self._orders[epoch_index] = order
+        return order
+
+
 class BatchSampler:
     """Group a sampler's per-epoch order into minibatches.
 

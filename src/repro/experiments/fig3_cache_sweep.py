@@ -4,7 +4,9 @@ The stacked-bar figure splits the epoch into GPU compute, the *ideal* fetch
 stall (what an efficient cache of that size would still pay) and the extra
 fetch stall caused by page-cache thrashing.  We obtain the ideal split from a
 MinIO (CoorDL) run and the thrashing surcharge from the DALI-shuffle run at
-the same cache size.
+the same cache size.  The sweep over cache fractions x loaders runs through
+:class:`~repro.sim.sweep.SweepRunner` (shared dataset/sampler, vectorised
+epoch fast path).
 """
 
 from __future__ import annotations
@@ -13,8 +15,8 @@ from typing import Sequence
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import RESNET18
-from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.single_server import SingleServerTraining
+from repro.experiments.base import ExperimentResult, SWEEP_SCALE
+from repro.sim.sweep import SweepRunner
 
 DEFAULT_FRACTIONS = (0.25, 0.35, 0.5, 0.65, 0.8, 1.0)
 
@@ -23,7 +25,10 @@ def run(scale: float = SWEEP_SCALE, fractions: Sequence[float] = DEFAULT_FRACTIO
         dataset_name: str = "openimages", num_epochs: int = 2,
         seed: int = 0) -> ExperimentResult:
     """Reproduce the epoch-time split vs cache size for ResNet18."""
-    dataset = scaled_dataset(dataset_name, scale, seed)
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    sweep = runner.run(SweepRunner.grid(
+        models=[RESNET18], loaders=["dali-shuffle", "coordl"],
+        cache_fractions=fractions, dataset=dataset_name, num_epochs=num_epochs))
     result = ExperimentResult(
         experiment_id="fig3",
         title="Fig. 3 — ResNet18 epoch split vs cache size (compute / ideal fetch "
@@ -34,10 +39,8 @@ def run(scale: float = SWEEP_SCALE, fractions: Sequence[float] = DEFAULT_FRACTIO
                "fetch stall the page cache adds on top"],
     )
     for fraction in fractions:
-        server = config_ssd_v100(cache_bytes=dataset.total_bytes * fraction)
-        training = SingleServerTraining(RESNET18, dataset, server, num_epochs=num_epochs)
-        dali = training.run("dali-shuffle", seed=seed).run.steady_epoch()
-        ideal = training.run("coordl", seed=seed).run.steady_epoch()
+        dali = sweep.one(loader="dali-shuffle", cache_fraction=fraction).steady
+        ideal = sweep.one(loader="coordl", cache_fraction=fraction).steady
         compute_s = dali.epoch_time_s - dali.fetch_stall_s
         ideal_fetch = ideal.fetch_stall_s
         thrashing = max(0.0, dali.fetch_stall_s - ideal_fetch)

@@ -5,7 +5,8 @@ pre-process the same dataset under the baseline, thrashing the page cache and
 splitting the 24 cores eight ways.  CoorDL's coordinated prep + MinIO cache
 fetches and preps the dataset exactly once per epoch and shares the staged
 minibatches, giving 1.9-5.6x faster per-job training depending on how
-data-hungry the model is.
+data-hungry the model is.  The per-model baseline/CoorDL grid runs through
+:class:`~repro.sim.sweep.SweepRunner`'s HP-search points.
 """
 
 from __future__ import annotations
@@ -14,8 +15,8 @@ from typing import Optional, Sequence
 
 from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
 from repro.compute.model_zoo import ALL_STALL_MODELS, ModelSpec
-from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.hp_search import HPSearchScenario
+from repro.experiments.base import ExperimentResult, SWEEP_SCALE
+from repro.sim.sweep import SweepRunner
 from repro.units import speedup
 
 
@@ -25,6 +26,10 @@ def run(scale: float = SWEEP_SCALE, num_jobs: int = 8, cache_fraction: float = 0
     """Reproduce the per-model HP-search speedups of Fig. 9(d)."""
     chosen = list(models) if models is not None else list(ALL_STALL_MODELS)
     factory = config_ssd_v100 if server_name == "ssd-v100" else config_hdd_1080ti
+    runner = SweepRunner(factory, scale=scale, seed=seed)
+    sweep = runner.run(SweepRunner.grid(
+        models=chosen, loaders=["hp-baseline", "hp-coordl"],
+        cache_fractions=[cache_fraction], num_jobs=num_jobs, gpus_per_job=1))
     result = ExperimentResult(
         experiment_id="fig9d",
         title=f"Fig. 9(d) — {num_jobs}-job HP search: CoorDL vs DALI ({factory().name})",
@@ -34,15 +39,12 @@ def run(scale: float = SWEEP_SCALE, num_jobs: int = 8, cache_fraction: float = 0
                "1.9x for ResNet50 on Config-SSD-V100"],
     )
     for model in chosen:
-        dataset = scaled_dataset(model.default_dataset, scale, seed)
-        server = factory(cache_bytes=dataset.total_bytes * cache_fraction)
-        scenario = HPSearchScenario(model, dataset, server, num_jobs=num_jobs,
-                                    gpus_per_job=1, seed=seed)
-        baseline = scenario.run_baseline()
-        coordl = scenario.run_coordl()
+        baseline_rec = sweep.one(model=model, loader="hp-baseline")
+        coordl_rec = sweep.one(model=model, loader="hp-coordl")
+        baseline, coordl = baseline_rec.hp, coordl_rec.hp
         result.add_row(
             model=model.name,
-            dataset=dataset.spec.name,
+            dataset=baseline_rec.dataset_name,
             dali_job_throughput=baseline.per_job_throughput,
             coordl_job_throughput=coordl.per_job_throughput,
             speedup=speedup(baseline.epoch_time_s, coordl.epoch_time_s),

@@ -4,9 +4,10 @@ DS-Analyzer predicts the training speed for a hypothetical cache size from
 four measured rates (G, P, C, S) using Eq. 4; the paper validates the
 prediction against real runs of AlexNet on Config-SSD-V100 at 25/35/50 %
 cache and finds at most 4 % error.  Here the "empirical" values come from the
-full pipelined simulation with a MinIO cache of the same size, and the
-predictions from the closed-form model — the two paths share no code, so the
-comparison is meaningful.
+full pipelined simulation with a MinIO cache of the same size (a cache-size
+sweep through :class:`~repro.sim.sweep.SweepRunner`), and the predictions
+from the closed-form model — the two paths share no code, so the comparison
+is meaningful.
 """
 
 from __future__ import annotations
@@ -17,8 +18,8 @@ from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import ALEXNET, ModelSpec
 from repro.dsanalyzer.predictor import DataStallPredictor
 from repro.dsanalyzer.profiler import DSAnalyzerProfiler
-from repro.experiments.base import DEFAULT_SCALE, ExperimentResult, scaled_dataset
-from repro.sim.single_server import SingleServerTraining
+from repro.experiments.base import DEFAULT_SCALE, ExperimentResult
+from repro.sim.sweep import SweepRunner
 
 DEFAULT_FRACTIONS = (0.25, 0.35, 0.5)
 
@@ -28,10 +29,13 @@ def run(scale: float = DEFAULT_SCALE, model: ModelSpec = ALEXNET,
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
         seed: int = 0) -> ExperimentResult:
     """Reproduce the predicted-vs-empirical comparison of Table 5."""
-    dataset = scaled_dataset(dataset_name, scale, seed)
-    server = config_ssd_v100()
-    profiler = DSAnalyzerProfiler(model, dataset, server, gpu_prep=False)
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    dataset = runner.dataset(dataset_name)
+    profiler = DSAnalyzerProfiler(model, dataset, config_ssd_v100(), gpu_prep=False)
     predictor = DataStallPredictor(profiler.profile())
+    sweep = runner.run(SweepRunner.grid(
+        models=[model], loaders=["coordl"], cache_fractions=fractions,
+        dataset=dataset_name, gpu_prep=False))
 
     result = ExperimentResult(
         experiment_id="tab5",
@@ -43,12 +47,7 @@ def run(scale: float = DEFAULT_SCALE, model: ModelSpec = ALEXNET,
     )
     for fraction in fractions:
         predicted = predictor.predict_training_speed(fraction)
-        training = SingleServerTraining(
-            model, dataset,
-            server.with_cache_bytes(dataset.total_bytes * fraction),
-            num_epochs=2)
-        empirical = training.run("coordl", gpu_prep=False,
-                                 seed=seed).run.steady_epoch().throughput
+        empirical = sweep.one(cache_fraction=fraction).steady.throughput
         error = abs(predicted - empirical) / empirical * 100.0
         result.add_row(
             cache_pct=100.0 * fraction,

@@ -11,7 +11,7 @@ and drives the pipelined timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -162,6 +162,67 @@ class DataLoader:
             disk_bytes=disk_bytes,
             cache_bytes=cache_bytes,
         )
+
+    def batch_time_arrays(self, epoch_index: int) -> Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Vectorised epoch fetch path, when the cache trajectory is analytic.
+
+        Returns ``(fetch_s, cached_fetch_s, prep_s, batch_sizes)`` — one entry
+        per minibatch — after applying exactly the side effects the per-batch
+        :meth:`fetch_batch` loop would have applied (cache mutations and
+        counters, loader and store I/O accounting including the disk
+        timeline).  Returns ``None``, without side effects, when the epoch
+        must be simulated item by item: a subclass customises the fetch
+        policy, the epoch revisits an item, or the cache's trajectory is not
+        analytically known (see :meth:`repro.cache.base.Cache.bulk_epoch_hits`).
+        """
+        cls = type(self)
+        if (cls.fetch_batch is not DataLoader.fetch_batch
+                or cls.should_admit_on_miss is not DataLoader.should_admit_on_miss
+                or cls.cached_fetch_time is not DataLoader.cached_fetch_time
+                or cls.prep_batch_time is not DataLoader.prep_batch_time):
+            return None
+        batches = self.batches(epoch_index)
+        if not batches:
+            return None
+        order = np.concatenate(batches)
+        if order.size and int(np.bincount(order).max()) > 1:
+            return None  # an item repeats: cache state matters step by step
+        sizes = self._dataset.item_sizes(order)
+        hits = self._cache.bulk_epoch_hits(order, sizes)
+        if hits is None:
+            return None
+
+        item_times = np.where(
+            hits,
+            self._dram.read_times_array(sizes),
+            self._store.bulk_read_times(sizes,
+                                        sequential=self._sequential_storage))
+        clock = np.cumsum(item_times)
+        misses = ~hits
+        if misses.any():
+            miss_sizes = sizes[misses]
+            # The store sees each read at its start time, the loader's
+            # timeline samples it at completion (as in the per-item path).
+            self._store.record_bulk(miss_sizes,
+                                    at_times=clock[misses] - item_times[misses])
+            self._io.record_disk_bulk(miss_sizes, at_times=clock[misses])
+        if hits.any():
+            self._io.record_cache_bulk(float(sizes[hits].sum()), int(hits.sum()))
+
+        batch_sizes = np.fromiter((len(b) for b in batches), dtype=np.int64,
+                                  count=len(batches))
+        starts = np.concatenate(([0], np.cumsum(batch_sizes)[:-1]))
+        fetch_s = np.add.reduceat(item_times, starts)
+        batch_bytes = np.add.reduceat(sizes, starts)
+        cached_fetch_s = self._dram.read_times_array(batch_bytes)
+        prep_s = np.fromiter(
+            (self._workers.prep_time_for_batch(
+                self._prep, float(nbytes), int(n),
+                num_gpus_for_offload=self._num_gpus)
+             for nbytes, n in zip(batch_bytes, batch_sizes)),
+            dtype=np.float64, count=len(batches))
+        return fetch_s, cached_fetch_s, prep_s, batch_sizes
 
     def cached_fetch_time(self, batch: np.ndarray) -> float:
         """Fetch duration if every item of the batch were in DRAM.

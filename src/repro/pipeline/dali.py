@@ -22,7 +22,12 @@ from repro.cache.base import Cache
 from repro.cache.page_cache import PageCache
 from repro.cluster.server import ServerConfig
 from repro.datasets.dataset import SyntheticDataset
-from repro.datasets.sampler import BatchSampler, RandomSampler, ShuffleBufferSampler
+from repro.datasets.sampler import (
+    BatchSampler,
+    RandomSampler,
+    Sampler,
+    ShuffleBufferSampler,
+)
 from repro.exceptions import ConfigurationError
 from repro.pipeline.base import DataLoader
 from repro.prep.pipeline import PrepPipeline
@@ -49,7 +54,8 @@ class DALILoader(DataLoader):
               batch_size: int, mode: str = "shuffle", gpu_prep: bool = False,
               num_gpus: Optional[int] = None, cores: Optional[float] = None,
               cache: Optional[Cache] = None, seed: int = 0,
-              use_hyperthreads: bool = False) -> "DALILoader":
+              use_hyperthreads: bool = False,
+              sampler: Optional[Sampler] = None) -> "DALILoader":
         """Construct a DALI loader for one training job on one server.
 
         Args:
@@ -65,6 +71,9 @@ class DALILoader(DataLoader):
             seed: Sampler seed.
             use_hyperthreads: Let prep use hyper-threads beyond the physical
                 cores (Appendix B.1).
+            sampler: Ready-made item-order sampler to reuse (parameter sweeps
+                share one memoised sampler across loaders); the mode-specific
+                default is built when omitted.
         """
         if mode not in ("seq", "shuffle"):
             raise ConfigurationError(f"unknown DALI mode {mode!r}")
@@ -74,7 +83,7 @@ class DALILoader(DataLoader):
         workers = server.worker_pool(cores=cores, gpu_offload=gpu_prep,
                                      use_hyperthreads=use_hyperthreads)
         page_cache = cache if cache is not None else PageCache(server.cache_bytes)
-        if mode == "seq":
+        if sampler is None and mode == "seq":
             # DALI-seq walks the (small, per-sample) files in storage order.
             # That order is pathological for the page cache, and because the
             # dataset is millions of individual files the reads do not come
@@ -85,7 +94,7 @@ class DALILoader(DataLoader):
             sampler = ShuffleBufferSampler(len(dataset),
                                            buffer_size=max(1, 4 * batch_size),
                                            seed=seed)
-        else:
+        elif sampler is None:
             sampler = RandomSampler(len(dataset), seed=seed)
         sequential = False
         return cls(
@@ -105,7 +114,7 @@ def best_dali_loader(dataset: SyntheticDataset, server: ServerConfig,
                      batch_size: int, model_gpu_prep_interference: float = 0.0,
                      mode: str = "shuffle", num_gpus: Optional[int] = None,
                      cores: Optional[float] = None, cache: Optional[Cache] = None,
-                     seed: int = 0) -> DALILoader:
+                     seed: int = 0, sampler: Optional[Sampler] = None) -> DALILoader:
     """Pick DALI's CPU-prep or GPU-prep variant, whichever is faster.
 
     The paper always runs DALI in "best of CPU or GPU based prep" mode
@@ -116,10 +125,12 @@ def best_dali_loader(dataset: SyntheticDataset, server: ServerConfig,
     """
     cpu_loader = DALILoader.build(dataset, server, batch_size, mode=mode,
                                   gpu_prep=False, num_gpus=num_gpus,
-                                  cores=cores, cache=cache, seed=seed)
+                                  cores=cores, cache=cache, seed=seed,
+                                  sampler=sampler)
     gpu_loader = DALILoader.build(dataset, server, batch_size, mode=mode,
                                   gpu_prep=True, num_gpus=num_gpus,
-                                  cores=cores, cache=cache, seed=seed)
+                                  cores=cores, cache=cache, seed=seed,
+                                  sampler=sampler)
     cpu_rate = cpu_loader.prep_rate()
     gpu_rate = gpu_loader.prep_rate() * (1.0 - model_gpu_prep_interference)
     return gpu_loader if gpu_rate > cpu_rate else cpu_loader

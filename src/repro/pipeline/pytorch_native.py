@@ -18,7 +18,7 @@ from repro.cache.base import Cache
 from repro.cache.page_cache import PageCache
 from repro.cluster.server import ServerConfig
 from repro.datasets.dataset import SyntheticDataset
-from repro.datasets.sampler import BatchSampler, RandomSampler
+from repro.datasets.sampler import BatchSampler, RandomSampler, Sampler
 from repro.pipeline.base import DataLoader
 from repro.prep.pipeline import PrepPipeline
 from repro.storage.filestore import FileStore
@@ -33,7 +33,8 @@ class PyTorchNativeLoader(DataLoader):
     def build(cls, dataset: SyntheticDataset, server: ServerConfig,
               batch_size: int, num_gpus: Optional[int] = None,
               cores: Optional[float] = None, cache: Optional[Cache] = None,
-              seed: int = 0) -> "PyTorchNativeLoader":
+              seed: int = 0,
+              sampler: Optional[Sampler] = None) -> "PyTorchNativeLoader":
         """Construct a loader for one training job on one server.
 
         Args:
@@ -46,13 +47,16 @@ class PyTorchNativeLoader(DataLoader):
             cache: Shared page cache to use (a fresh one is created when not
                 given; HP-search simulations pass the shared instance).
             seed: Sampler seed.
+            sampler: Ready-made item-order sampler to reuse (parameter sweeps
+                share one memoised sampler across loaders).
         """
         gpus = num_gpus if num_gpus is not None else server.num_gpus
         prep = PrepPipeline.for_task(dataset.spec.task, library="pytorch")
         prep = prep.with_scaled_cost(dataset.spec.prep_cost_scale)
         workers = server.worker_pool(cores=cores, gpu_offload=False)
         page_cache = cache if cache is not None else PageCache(server.cache_bytes)
-        sampler = RandomSampler(len(dataset), seed=seed)
+        if sampler is None:
+            sampler = RandomSampler(len(dataset), seed=seed)
         return cls(
             dataset=dataset,
             store=FileStore(dataset, server.storage),

@@ -26,7 +26,13 @@ class EpochStats:
             (DS-Analyzer phase 1).
         prep_limited_time_s: Epoch duration when every item is served from
             DRAM (DS-Analyzer phase 2); the excess over ``gpu_time_s`` is the
-            prep stall.
+            prep stall.  The engine clamps this to the actual epoch duration
+            (``min(prep_limited, epoch_time_s)`` in
+            :meth:`repro.sim.engine.PipelineSimulator.run_epoch`): pipelining
+            noise can make the all-DRAM re-run marginally *slower* than the
+            real epoch, and an unclamped value would turn that noise into a
+            negative fetch stall.  Invariant: ``gpu_time_s <=
+            prep_limited_time_s <= epoch_time_s`` up to float round-off.
         samples: Samples processed this epoch.
         io: Byte/request accounting for the epoch.
         cache_hits / cache_misses: Item-level cache outcome counts.

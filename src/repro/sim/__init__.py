@@ -7,7 +7,12 @@ from repro.sim.accuracy import (
     time_to_accuracy,
 )
 from repro.sim.distributed import DistributedEpoch, DistributedResult, DistributedTraining
-from repro.sim.engine import BatchTimes, PipelineSimulator, pipeline_makespan
+from repro.sim.engine import (
+    BatchTimes,
+    PipelineSimulator,
+    pipeline_makespan,
+    pipeline_makespan_reference,
+)
 from repro.sim.hp_search import HPSearchResult, HPSearchScenario
 from repro.sim.single_server import (
     LOADER_KINDS,
@@ -15,11 +20,24 @@ from repro.sim.single_server import (
     SingleServerTraining,
     build_loader,
 )
+from repro.sim.sweep import (
+    HP_SEARCH_KINDS,
+    SweepPoint,
+    SweepRecord,
+    SweepResult,
+    SweepRunner,
+)
 
 __all__ = [
     "PipelineSimulator",
     "BatchTimes",
     "pipeline_makespan",
+    "pipeline_makespan_reference",
+    "SweepRunner",
+    "SweepPoint",
+    "SweepRecord",
+    "SweepResult",
+    "HP_SEARCH_KINDS",
     "SingleServerTraining",
     "SingleServerResult",
     "build_loader",

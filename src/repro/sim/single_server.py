@@ -15,6 +15,7 @@ from repro.cluster.server import ServerConfig
 from repro.compute.model_zoo import ModelSpec
 from repro.coordl.minio_loader import best_coordl_loader
 from repro.datasets.dataset import SyntheticDataset
+from repro.datasets.sampler import Sampler
 from repro.exceptions import ConfigurationError
 from repro.pipeline.base import DataLoader
 from repro.pipeline.dali import DALILoader, best_dali_loader
@@ -48,7 +49,8 @@ def build_loader(kind: str, dataset: SyntheticDataset, server: ServerConfig,
                  model: ModelSpec, num_gpus: Optional[int] = None,
                  cores: Optional[float] = None, cache_bytes: Optional[float] = None,
                  gpu_prep: Optional[bool] = None, seed: int = 0,
-                 batch_size: Optional[int] = None) -> DataLoader:
+                 batch_size: Optional[int] = None,
+                 sampler: Optional[Sampler] = None) -> DataLoader:
     """Build a loader of the requested kind for one training job.
 
     Args:
@@ -65,6 +67,8 @@ def build_loader(kind: str, dataset: SyntheticDataset, server: ServerConfig,
         batch_size: Explicit per-iteration batch size; when omitted the
             model's per-GPU batch size times ``num_gpus`` is used, clamped by
             :func:`effective_batch_size` for scaled datasets.
+        sampler: Ready-made item-order sampler to reuse across loaders
+            (parameter sweeps share one memoised sampler per dataset/seed).
     """
     if kind not in LOADER_KINDS:
         raise ConfigurationError(f"unknown loader kind {kind!r}; expected one of {LOADER_KINDS}")
@@ -76,23 +80,28 @@ def build_loader(kind: str, dataset: SyntheticDataset, server: ServerConfig,
 
     if kind == "pytorch":
         return PyTorchNativeLoader.build(dataset, server, batch_size,
-                                         num_gpus=gpus, cores=cores, seed=seed)
+                                         num_gpus=gpus, cores=cores, seed=seed,
+                                         sampler=sampler)
     if kind in ("dali-seq", "dali-shuffle"):
         mode = "seq" if kind == "dali-seq" else "shuffle"
         if gpu_prep is None:
             return best_dali_loader(dataset, server, batch_size,
                                     model_gpu_prep_interference=model.gpu_prep_interference,
-                                    mode=mode, num_gpus=gpus, cores=cores, seed=seed)
+                                    mode=mode, num_gpus=gpus, cores=cores, seed=seed,
+                                    sampler=sampler)
         return DALILoader.build(dataset, server, batch_size, mode=mode,
-                                gpu_prep=gpu_prep, num_gpus=gpus, cores=cores, seed=seed)
+                                gpu_prep=gpu_prep, num_gpus=gpus, cores=cores,
+                                seed=seed, sampler=sampler)
     # CoorDL
     if gpu_prep is None:
         return best_coordl_loader(dataset, server, batch_size,
                                   model_gpu_prep_interference=model.gpu_prep_interference,
-                                  num_gpus=gpus, cores=cores, seed=seed)
+                                  num_gpus=gpus, cores=cores, seed=seed,
+                                  sampler=sampler)
     from repro.coordl.minio_loader import CoorDLLoader
     return CoorDLLoader.build(dataset, server, batch_size, gpu_prep=gpu_prep,
-                              num_gpus=gpus, cores=cores, seed=seed)
+                              num_gpus=gpus, cores=cores, seed=seed,
+                              sampler=sampler)
 
 
 @dataclass

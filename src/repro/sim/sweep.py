@@ -1,0 +1,313 @@
+"""Parameter-sweep runner over the pipelined epoch simulator.
+
+Every figure/table reproduction walks a grid of configurations — cache
+sizes (Fig. 3), prep cores (Fig. 4), models (Figs. 6/9d), predictor
+validation points (Tab. 5) — and each experiment module used to hand-roll
+its own loops over :class:`~repro.sim.single_server.SingleServerTraining`
+or :class:`~repro.sim.hp_search.HPSearchScenario`.  :class:`SweepRunner`
+replaces those loops with one subsystem that
+
+* expands a grid of (model, loader, cache size, cores, batch size)
+  into :class:`SweepPoint`\\ s,
+* **shares** dataset materialisation and per-epoch sampler permutations
+  across all points of the same (dataset, seed) pair,
+* runs every point through the simulator's vectorised fast path
+  (:meth:`repro.sim.engine.PipelineSimulator.collect_batch_times`), and
+* returns a tidy :class:`SweepResult` the experiment modules reduce into
+  their :class:`~repro.experiments.base.ExperimentResult` tables.
+
+Two point kinds are supported: single-server training sweeps
+(``loader`` in :data:`~repro.sim.single_server.LOADER_KINDS`) and
+HP-search scenario sweeps (``loader`` in :data:`HP_SEARCH_KINDS`, which
+run :class:`~repro.sim.hp_search.HPSearchScenario` per point).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.cluster.server import ServerConfig
+from repro.compute.model_zoo import ModelSpec
+from repro.datasets.catalog import get_dataset_spec
+from repro.datasets.dataset import SyntheticDataset
+from repro.datasets.sampler import CachingSampler, RandomSampler, Sampler
+from repro.exceptions import ConfigurationError
+from repro.pipeline.stats import EpochStats, TrainingRunStats
+from repro.sim.engine import PipelineSimulator
+from repro.sim.hp_search import HPSearchResult, HPSearchScenario
+from repro.sim.single_server import LOADER_KINDS, build_loader
+
+#: Sweep-point kinds simulated through :class:`HPSearchScenario` instead of
+#: the single-server epoch pipeline.
+HP_SEARCH_KINDS = ("hp-baseline", "hp-coordl")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration in a sweep grid.
+
+    Attributes:
+        model: DNN trained at this point.
+        loader: One of :data:`~repro.sim.single_server.LOADER_KINDS` for
+            single-server training points, or one of :data:`HP_SEARCH_KINDS`
+            for HP-search scenario points.
+        dataset: Catalog name of the dataset; ``None`` uses the model's
+            ``default_dataset`` (the Fig. 6/9 per-model convention).
+        cache_fraction: Cache budget as a fraction of the dataset's bytes
+            (may exceed 1.0 for fully-cached configurations); mutually
+            exclusive with ``cache_bytes``.  ``None`` keeps the server's
+            default budget.
+        cache_bytes: Absolute cache budget override.
+        cores: Physical prep cores for the job (``None``: all).
+        num_gpus: GPUs used by the job (``None``: all on the server).
+        batch_size: Explicit per-iteration batch size (``None``: derived
+            from the model, clamped for scaled datasets).
+        gpu_prep: Force GPU prep on/off (``None``: faster variant).
+        num_epochs: Epochs to simulate (first is the cold-cache warm-up).
+        num_jobs / gpus_per_job: HP-search points only.
+        label: Free-form tag carried through to the record.
+    """
+
+    model: ModelSpec
+    loader: str = "coordl"
+    dataset: Optional[str] = None
+    cache_fraction: Optional[float] = None
+    cache_bytes: Optional[float] = None
+    cores: Optional[float] = None
+    num_gpus: Optional[int] = None
+    batch_size: Optional[int] = None
+    gpu_prep: Optional[bool] = None
+    num_epochs: int = 2
+    num_jobs: int = 8
+    gpus_per_job: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.loader not in LOADER_KINDS + HP_SEARCH_KINDS:
+            raise ConfigurationError(
+                f"unknown sweep loader {self.loader!r}; expected one of "
+                f"{LOADER_KINDS + HP_SEARCH_KINDS}")
+        if self.cache_fraction is not None and self.cache_bytes is not None:
+            raise ConfigurationError(
+                "give cache_fraction or cache_bytes, not both")
+        if not self.is_hp_search and self.num_epochs < 2:
+            raise ConfigurationError(
+                "need at least two epochs (warm-up + one measured epoch)")
+
+    @property
+    def is_hp_search(self) -> bool:
+        """Whether this point runs through the HP-search scenario."""
+        return self.loader in HP_SEARCH_KINDS
+
+
+@dataclass
+class SweepRecord:
+    """Outcome of one sweep point.
+
+    Training points carry the full multi-epoch ``run``; HP-search points
+    carry the scenario's steady-state ``hp`` result instead.
+    """
+
+    point: SweepPoint
+    dataset_name: str
+    loader_name: str
+    run: Optional[TrainingRunStats] = None
+    hp: Optional[HPSearchResult] = None
+
+    @property
+    def steady(self) -> EpochStats:
+        """Representative steady-state epoch (training points)."""
+        if self.run is None:
+            raise ConfigurationError(
+                f"sweep point {self.point.loader!r} has no epoch run "
+                "(HP-search points expose .hp)")
+        return self.run.steady_epoch()
+
+    def row(self) -> Dict[str, Any]:
+        """Tidy-table row: the point's configuration plus key metrics."""
+        values: Dict[str, Any] = {
+            "model": self.point.model.name,
+            "loader": self.point.loader,
+            "loader_name": self.loader_name,
+            "dataset": self.dataset_name,
+            "cache_fraction": self.point.cache_fraction,
+            "cores": self.point.cores,
+            "batch_size": self.point.batch_size,
+            "label": self.point.label,
+        }
+        if self.hp is not None:
+            values.update(
+                epoch_time_s=self.hp.epoch_time_s,
+                throughput=self.hp.per_job_throughput,
+                disk_bytes=self.hp.disk_bytes_per_epoch,
+                cache_miss_ratio=self.hp.cache_miss_ratio,
+            )
+        else:
+            steady = self.steady
+            values.update(
+                epoch_time_s=steady.epoch_time_s,
+                throughput=steady.throughput,
+                fetch_stall_s=steady.fetch_stall_s,
+                prep_stall_s=steady.prep_stall_s,
+                disk_bytes=steady.io.disk_bytes,
+                cache_miss_ratio=steady.cache_miss_ratio,
+            )
+        return values
+
+
+class SweepResult:
+    """Tidy collection of sweep records with config-based selection."""
+
+    def __init__(self, records: Sequence[SweepRecord]) -> None:
+        self._records = list(records)
+
+    def __iter__(self) -> Iterator[SweepRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[SweepRecord]:
+        """All records, in sweep order."""
+        return list(self._records)
+
+    def filter(self, **attrs: Any) -> "SweepResult":
+        """Records whose :class:`SweepPoint` matches every given attribute."""
+        point_fields = {f.name for f in fields(SweepPoint)}
+        unknown = set(attrs) - point_fields
+        if unknown:
+            raise ConfigurationError(f"unknown sweep-point fields {sorted(unknown)}")
+        kept = [r for r in self._records
+                if all(getattr(r.point, k) == v for k, v in attrs.items())]
+        return SweepResult(kept)
+
+    def one(self, **attrs: Any) -> SweepRecord:
+        """The unique record matching the given point attributes."""
+        matches = self.filter(**attrs)
+        if len(matches) != 1:
+            raise ConfigurationError(
+                f"expected exactly one record for {attrs}, found {len(matches)}")
+        return matches.records[0]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One tidy dict per record (config columns + key metrics)."""
+        return [record.row() for record in self._records]
+
+
+class SweepRunner:
+    """Run a grid of simulation configurations with shared substrates.
+
+    Args:
+        server_factory: Callable building the server model, accepting a
+            ``cache_bytes`` keyword (e.g.
+            :func:`repro.cluster.configs.config_ssd_v100`).
+        scale: Dataset scale applied to every point (experiments pass their
+            usual ``SWEEP_SCALE``/``DEFAULT_SCALE``).
+        seed: Seed for dataset materialisation and samplers.
+        queue_depth: Prefetch queue depth of the simulated pipeline.
+        fast_path: Allow the vectorised epoch collection (disable to force
+            the per-batch reference path, e.g. for benchmarking it).
+    """
+
+    def __init__(self, server_factory: Callable[..., ServerConfig], *,
+                 scale: float = 1.0, seed: int = 0, queue_depth: int = 4,
+                 fast_path: bool = True) -> None:
+        self._server_factory = server_factory
+        self._scale = scale
+        self._seed = seed
+        self._queue_depth = queue_depth
+        self._fast_path = fast_path
+        self._datasets: Dict[str, SyntheticDataset] = {}
+        self._samplers: Dict[int, Sampler] = {}
+
+    @staticmethod
+    def grid(models: Sequence[ModelSpec], loaders: Sequence[str],
+             cache_fractions: Sequence[Optional[float]] = (None,),
+             cores: Sequence[Optional[float]] = (None,),
+             batch_sizes: Sequence[Optional[int]] = (None,),
+             **common: Any) -> List[SweepPoint]:
+        """Cross-product grid of sweep points.
+
+        ``common`` keyword arguments (``dataset``, ``num_epochs``,
+        ``gpu_prep``, ...) are applied to every point.
+        """
+        return [
+            SweepPoint(model=model, loader=loader, cache_fraction=fraction,
+                       cores=core, batch_size=batch, **common)
+            for model, loader, fraction, core, batch in itertools.product(
+                models, loaders, cache_fractions, cores, batch_sizes)
+        ]
+
+    # -- shared substrate construction --------------------------------------
+
+    def dataset(self, name: str) -> SyntheticDataset:
+        """Materialise (once) the scaled dataset of the given catalog name."""
+        cached = self._datasets.get(name)
+        if cached is None:
+            cached = SyntheticDataset(get_dataset_spec(name), seed=self._seed,
+                                      scale=self._scale)
+            self._datasets[name] = cached
+        return cached
+
+    def _shared_sampler(self, dataset: SyntheticDataset) -> Sampler:
+        """One memoised random sampler per dataset size (all points share)."""
+        sampler = self._samplers.get(len(dataset))
+        if sampler is None:
+            sampler = CachingSampler(RandomSampler(len(dataset), seed=self._seed))
+            self._samplers[len(dataset)] = sampler
+        return sampler
+
+    def _resolve(self, point: SweepPoint) -> tuple:
+        dataset = self.dataset(point.dataset or point.model.default_dataset)
+        cache_bytes = point.cache_bytes
+        if point.cache_fraction is not None:
+            cache_bytes = dataset.total_bytes * point.cache_fraction
+        if cache_bytes is not None:
+            server = self._server_factory(cache_bytes=cache_bytes)
+        else:
+            server = self._server_factory()
+        return dataset, server
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, points: Iterable[SweepPoint]) -> SweepResult:
+        """Simulate every point and return the tidy result table."""
+        records = [self._run_point(point) for point in points]
+        return SweepResult(records)
+
+    def _run_point(self, point: SweepPoint) -> SweepRecord:
+        if point.is_hp_search:
+            return self._run_hp_point(point)
+        dataset, server = self._resolve(point)
+        # dali-seq builds its own shuffle-buffer sampler (the storage-visible
+        # order is what matters there); every other kind shares the memoised
+        # random permutations.
+        sampler = None if point.loader == "dali-seq" else self._shared_sampler(dataset)
+        loader = build_loader(point.loader, dataset, server, point.model,
+                              num_gpus=point.num_gpus, cores=point.cores,
+                              gpu_prep=point.gpu_prep, seed=self._seed,
+                              batch_size=point.batch_size, sampler=sampler)
+        simulator = PipelineSimulator(point.model, server.gpu,
+                                      queue_depth=self._queue_depth,
+                                      fast_path=self._fast_path)
+        run = TrainingRunStats()
+        for stats in simulator.run_epochs(loader, point.num_epochs):
+            run.add(stats)
+        return SweepRecord(point=point, dataset_name=dataset.spec.name,
+                           loader_name=loader.name, run=run)
+
+    def _run_hp_point(self, point: SweepPoint) -> SweepRecord:
+        dataset, server = self._resolve(point)
+        scenario = HPSearchScenario(point.model, dataset, server,
+                                    num_jobs=point.num_jobs,
+                                    gpus_per_job=point.gpus_per_job,
+                                    seed=self._seed)
+        if point.loader == "hp-baseline":
+            hp = scenario.run_baseline()
+        else:
+            hp = scenario.run_coordl()
+        return SweepRecord(point=point, dataset_name=dataset.spec.name,
+                           loader_name=hp.loader_name, hp=hp)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import units
 from repro.exceptions import ConfigurationError
 
@@ -47,6 +49,15 @@ class StorageDevice:
             raise ConfigurationError("cannot read a negative number of bytes")
         bw = self.sequential_read_bw if sequential else self.random_read_bw
         return self.request_overhead_s + nbytes / bw
+
+    def read_times_array(self, sizes: "np.ndarray",
+                         sequential: bool = False) -> "np.ndarray":
+        """Vectorised :meth:`read_time` over an array of request sizes."""
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if sizes.size and float(sizes.min()) < 0:
+            raise ConfigurationError("cannot read a negative number of bytes")
+        bw = self.sequential_read_bw if sequential else self.random_read_bw
+        return self.request_overhead_s + sizes / bw
 
     def effective_rate(self, nbytes: float, sequential: bool = False) -> float:
         """Observed bytes/second for a request of the given size."""

@@ -11,7 +11,9 @@ loaders, not closed-form estimates.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.datasets.dataset import SyntheticDataset
 from repro.storage.device import StorageDevice
@@ -63,6 +65,21 @@ class FileStore:
         duration = self._device.read_time(nbytes, sequential=seq)
         self._stats.record_disk(nbytes, at_time=at_time)
         return duration
+
+    def bulk_read_times(self, sizes: "np.ndarray",
+                        sequential: Optional[bool] = None) -> "np.ndarray":
+        """Per-read durations for many reads, without recording them.
+
+        The vectorised fetch path needs the durations *before* it can place
+        the reads on the virtual timeline; pair with :meth:`record_bulk`.
+        """
+        seq = self._sequential_hint if sequential is None else sequential
+        return self._device.read_times_array(sizes, sequential=seq)
+
+    def record_bulk(self, sizes: Sequence[float],
+                    at_times: Optional[Sequence[float]] = None) -> None:
+        """Account many reads at once (see :meth:`IOStats.record_disk_bulk`)."""
+        self._stats.record_disk_bulk(sizes, at_times)
 
     def reset_stats(self) -> None:
         """Clear accumulated I/O counters (e.g. after the warm-up epoch)."""

@@ -4,37 +4,99 @@ Every read performed against a :class:`~repro.storage.filestore.FileStore`
 is recorded here: bytes and requests by source (storage, cache, remote), plus
 an optional time-series of (virtual time, cumulative disk bytes) samples used
 to reproduce the disk-I/O-over-time plots (Fig. 11).
+
+The timeline is materialised lazily: the vectorised fetch path records whole
+epochs as numpy array chunks, and the per-sample ``(time, bytes)`` tuples are
+only built when :attr:`IOStats.timeline` is actually read (the Fig. 11
+experiment; most sweeps never look).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 
-@dataclass
 class IOStats:
-    """Counters for one loader / one epoch / one server (caller's choice)."""
+    """Counters for one loader / one epoch / one server (caller's choice).
 
-    disk_bytes: float = 0.0
-    disk_requests: int = 0
-    cache_bytes: float = 0.0
-    cache_requests: int = 0
-    remote_bytes: float = 0.0
-    remote_requests: int = 0
-    timeline: List[Tuple[float, float]] = field(default_factory=list)
+    Attributes:
+        disk_bytes / disk_requests: Reads served by the storage device.
+        cache_bytes / cache_requests: Reads served from the local DRAM cache.
+        remote_bytes / remote_requests: Reads served from a remote server.
+        timeline: ``(virtual time, cumulative disk bytes)`` samples, one per
+            disk read recorded with a timestamp (lazily materialised).
+    """
+
+    def __init__(self, disk_bytes: float = 0.0, disk_requests: int = 0,
+                 cache_bytes: float = 0.0, cache_requests: int = 0,
+                 remote_bytes: float = 0.0, remote_requests: int = 0) -> None:
+        self.disk_bytes = disk_bytes
+        self.disk_requests = disk_requests
+        self.cache_bytes = cache_bytes
+        self.cache_requests = cache_requests
+        self.remote_bytes = remote_bytes
+        self.remote_requests = remote_requests
+        self._timeline: List[Tuple[float, float]] = []
+        # (times, cumulative bytes) array chunks not yet converted to tuples.
+        self._timeline_chunks: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IOStats(disk_bytes={self.disk_bytes}, "
+                f"disk_requests={self.disk_requests}, "
+                f"cache_requests={self.cache_requests}, "
+                f"remote_requests={self.remote_requests})")
+
+    @property
+    def timeline(self) -> List[Tuple[float, float]]:
+        """Per-read ``(time, cumulative disk bytes)`` samples, materialised."""
+        if self._timeline_chunks:
+            for times, cumulative in self._timeline_chunks:
+                self._timeline.extend(zip(times.tolist(), cumulative.tolist()))
+            self._timeline_chunks.clear()
+        return self._timeline
+
+    @timeline.setter
+    def timeline(self, samples: Sequence[Tuple[float, float]]) -> None:
+        self._timeline = list(samples)
+        self._timeline_chunks.clear()
 
     def record_disk(self, nbytes: float, at_time: float | None = None) -> None:
         """Account one read served by the storage device."""
         self.disk_bytes += nbytes
         self.disk_requests += 1
         if at_time is not None:
-            self.timeline.append((at_time, self.disk_bytes))
+            if self._timeline_chunks:
+                _ = self.timeline  # materialise pending chunks in order
+            self._timeline.append((at_time, self.disk_bytes))
+
+    def record_disk_bulk(self, sizes: Sequence[float],
+                         at_times: Optional[Sequence[float]] = None) -> None:
+        """Account many storage reads at once (vectorised fetch path).
+
+        Equivalent to calling :meth:`record_disk` once per entry of ``sizes``
+        (zipped with ``at_times`` when given), including the per-read
+        cumulative-byte samples of :attr:`timeline` — but the samples stay as
+        array chunks until the timeline is read.
+        """
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if at_times is not None:
+            cumulative = self.disk_bytes + np.cumsum(sizes)
+            self._timeline_chunks.append(
+                (np.asarray(at_times, dtype=np.float64), cumulative))
+        self.disk_bytes += float(sizes.sum())
+        self.disk_requests += int(sizes.size)
 
     def record_cache(self, nbytes: float) -> None:
         """Account one read served from the local DRAM cache."""
         self.cache_bytes += nbytes
         self.cache_requests += 1
+
+    def record_cache_bulk(self, total_bytes: float, requests: int) -> None:
+        """Account many local-cache reads at once (vectorised fetch path)."""
+        self.cache_bytes += float(total_bytes)
+        self.cache_requests += int(requests)
 
     def record_remote(self, nbytes: float) -> None:
         """Account one read served from a remote server's cache."""
@@ -63,6 +125,20 @@ class IOStats:
         """Fraction of requests that had to leave the local cache."""
         return 1.0 - self.cache_hit_ratio
 
+    def copy(self) -> "IOStats":
+        """Snapshot of the counters (timeline chunks shared, not re-built)."""
+        snapshot = IOStats(
+            disk_bytes=self.disk_bytes,
+            disk_requests=self.disk_requests,
+            cache_bytes=self.cache_bytes,
+            cache_requests=self.cache_requests,
+            remote_bytes=self.remote_bytes,
+            remote_requests=self.remote_requests,
+        )
+        snapshot._timeline = list(self._timeline)
+        snapshot._timeline_chunks = list(self._timeline_chunks)
+        return snapshot
+
     def merged_with(self, other: "IOStats") -> "IOStats":
         """Return the element-wise sum of two counters (timelines concatenated)."""
         merged = IOStats(
@@ -84,4 +160,5 @@ class IOStats:
         self.cache_requests = 0
         self.remote_bytes = 0.0
         self.remote_requests = 0
-        self.timeline.clear()
+        self._timeline.clear()
+        self._timeline_chunks.clear()

@@ -21,7 +21,7 @@ from repro.datasets.sampler import (
     ShuffleBufferSampler,
     verify_epoch_invariant,
 )
-from repro.sim.engine import pipeline_makespan
+from repro.sim.engine import pipeline_makespan, pipeline_makespan_reference
 
 # Shared strategies ---------------------------------------------------------
 
@@ -218,3 +218,75 @@ class TestMakespanProperties:
         base = pipeline_makespan([times, times, times])
         slower = pipeline_makespan([[2 * t for t in times], times, times])
         assert slower >= base
+
+    @given(num_stages=st.integers(1, 5), num_batches=st.integers(0, 80),
+           depth=st.integers(1, 100), seed=seeds)
+    @settings(max_examples=120, deadline=None)
+    def test_numpy_kernel_matches_reference(self, num_stages, num_batches, depth, seed):
+        """The vectorised kernel equals the per-batch recurrence exactly."""
+        rng = np.random.default_rng(seed)
+        times = rng.uniform(1e-4, 5.0, size=(num_stages, num_batches))
+        fast = pipeline_makespan(times, queue_depth=depth, kernel="numpy")
+        reference = pipeline_makespan_reference(times, queue_depth=depth)
+        assert fast == pytest.approx(reference, abs=1e-9)
+        # "auto" must agree with both, whichever kernel it dispatches to.
+        assert pipeline_makespan(times, queue_depth=depth) == pytest.approx(
+            reference, abs=1e-9)
+
+    @given(num_items=st.integers(1, 400), seed=seeds,
+           capacity=st.floats(min_value=0.0, max_value=5e6),
+           repeats=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_minio_bulk_epoch_matches_per_item_lookups(self, num_items, seed,
+                                                       capacity, repeats):
+        """Vectorised MinIO epochs equal per-item lookup+admit, epoch by epoch."""
+        spec = DatasetSpec("bulk", "image_classification", num_items, 10_000.0,
+                           item_size_cv=0.4)
+        dataset = SyntheticDataset(spec, seed=seed)
+        scalar, bulk = MinIOCache(capacity), MinIOCache(capacity)
+        sampler = RandomSampler(num_items, seed=seed)
+        for epoch in range(repeats):
+            order = sampler.epoch(epoch)
+            sizes = dataset.item_sizes(order)
+            scalar_hits = []
+            for item, size in zip(order.tolist(), sizes.tolist()):
+                hit = scalar.lookup(item)
+                scalar_hits.append(hit)
+                if not hit:
+                    scalar.admit(item, size)
+            bulk_hits = bulk.bulk_epoch_hits(order, sizes)
+            assert bulk_hits.tolist() == scalar_hits
+            assert sorted(bulk.cached_items()) == sorted(scalar.cached_items())
+            assert bulk.used_bytes == pytest.approx(scalar.used_bytes)
+            for field in ("hits", "misses", "insertions", "evictions", "rejected"):
+                assert getattr(bulk.stats, field) == getattr(scalar.stats, field)
+
+    @given(num_items=st.integers(1, 300), seed=seeds,
+           capacity_pages=st.integers(1, 200), epochs=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_page_cache_bulk_epoch_matches_per_item_lookups(self, num_items, seed,
+                                                            capacity_pages, epochs):
+        """Bulk page-cache epochs (cold closed form + warm sweep) stay exact."""
+        spec = DatasetSpec("bulkpc", "image_classification", num_items, 9_000.0,
+                           item_size_cv=0.5)
+        dataset = SyntheticDataset(spec, seed=seed)
+        capacity = capacity_pages * 4096.0
+        scalar, bulk = PageCache(capacity), PageCache(capacity)
+        sampler = RandomSampler(num_items, seed=seed)
+        for epoch in range(epochs):
+            order = sampler.epoch(epoch)
+            sizes = dataset.item_sizes(order)
+            scalar_hits = []
+            for item, size in zip(order.tolist(), sizes.tolist()):
+                hit = scalar.lookup(item)
+                scalar_hits.append(hit)
+                if not hit:
+                    scalar.admit(item, size)
+            bulk_hits = bulk.bulk_epoch_hits(order, sizes)
+            assert bulk_hits.tolist() == scalar_hits
+            assert list(bulk.cached_items()) == list(scalar.cached_items())
+            assert bulk.used_bytes == pytest.approx(scalar.used_bytes)
+            assert bulk.active_bytes == pytest.approx(scalar.active_bytes)
+            assert bulk.evictions == scalar.evictions
+            for field in ("hits", "misses", "insertions", "rejected"):
+                assert getattr(bulk.stats, field) == getattr(scalar.stats, field)

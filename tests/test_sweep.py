@@ -1,0 +1,156 @@
+"""Unit tests for the SweepRunner subsystem and the vectorised fast path."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configs import config_ssd_v100
+from repro.compute.model_zoo import ALEXNET, RESNET18
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import PipelineSimulator
+from repro.sim.single_server import build_loader
+from repro.sim.sweep import SweepPoint, SweepRunner
+
+SCALE = 1 / 500.0
+
+
+class TestSweepPoint:
+    def test_rejects_unknown_loader(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint(model=RESNET18, loader="nope")
+
+    def test_rejects_conflicting_cache_settings(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint(model=RESNET18, cache_fraction=0.5, cache_bytes=1e9)
+
+    def test_rejects_single_epoch_training_points(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint(model=RESNET18, loader="coordl", num_epochs=1)
+        # HP-search points do not use num_epochs
+        SweepPoint(model=RESNET18, loader="hp-coordl", num_epochs=1)
+
+    def test_grid_is_a_cross_product(self):
+        points = SweepRunner.grid(models=[RESNET18, ALEXNET],
+                                  loaders=["coordl", "dali-shuffle"],
+                                  cache_fractions=(0.35, 0.65),
+                                  dataset="openimages")
+        assert len(points) == 8
+        assert {p.loader for p in points} == {"coordl", "dali-shuffle"}
+        assert all(p.dataset == "openimages" for p in points)
+
+
+class TestSweepRunner:
+    def test_training_sweep_produces_one_record_per_point(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        points = SweepRunner.grid(models=[RESNET18],
+                                  loaders=["coordl", "dali-shuffle"],
+                                  cache_fractions=(0.35, 0.8),
+                                  dataset="openimages")
+        sweep = runner.run(points)
+        assert len(sweep) == 4
+        for record in sweep:
+            assert record.run is not None
+            assert record.run.num_epochs == 2
+            assert record.steady.epoch_time_s > 0
+        # a bigger cache never slows CoorDL down
+        small = sweep.one(loader="coordl", cache_fraction=0.35).steady
+        large = sweep.one(loader="coordl", cache_fraction=0.8).steady
+        assert large.epoch_time_s <= small.epoch_time_s * 1.001
+
+    def test_shared_dataset_and_sampler_instances(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        assert runner.dataset("openimages") is runner.dataset("openimages")
+        d = runner.dataset("openimages")
+        assert runner._shared_sampler(d) is runner._shared_sampler(d)
+
+    def test_filter_and_one(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        sweep = runner.run(SweepRunner.grid(
+            models=[RESNET18], loaders=["coordl"], cache_fractions=(0.35, 0.8),
+            dataset="openimages"))
+        assert len(sweep.filter(loader="coordl")) == 2
+        assert sweep.one(cache_fraction=0.8).point.cache_fraction == 0.8
+        with pytest.raises(ConfigurationError):
+            sweep.one(loader="coordl")  # two matches
+        with pytest.raises(ConfigurationError):
+            sweep.filter(not_a_field=1)
+
+    def test_rows_are_tidy(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        sweep = runner.run([SweepPoint(model=RESNET18, loader="coordl",
+                                       dataset="openimages", cache_fraction=0.5)])
+        (row,) = sweep.rows()
+        assert row["model"] == "resnet18"
+        assert row["epoch_time_s"] > 0
+        assert row["cache_miss_ratio"] >= 0
+
+    def test_hp_search_points(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        sweep = runner.run(SweepRunner.grid(
+            models=[ALEXNET], loaders=["hp-baseline", "hp-coordl"],
+            cache_fractions=(0.65,), num_jobs=4))
+        baseline = sweep.one(loader="hp-baseline")
+        coordl = sweep.one(loader="hp-coordl")
+        assert baseline.hp is not None and coordl.hp is not None
+        assert baseline.run is None
+        with pytest.raises(ConfigurationError):
+            _ = baseline.steady
+        # CoorDL coordinates the jobs: never slower, reads no more disk.
+        assert coordl.hp.epoch_time_s <= baseline.hp.epoch_time_s * 1.001
+        assert coordl.hp.disk_bytes_per_epoch <= baseline.hp.disk_bytes_per_epoch * 1.001
+
+    def test_dataset_defaults_to_the_models_dataset(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        sweep = runner.run([SweepPoint(model=ALEXNET, loader="coordl",
+                                       cache_fraction=0.5)])
+        # scaled specs carry an "@scale" suffix on the catalog name
+        assert sweep.records[0].dataset_name.startswith(ALEXNET.default_dataset)
+
+
+class TestFastPathEquivalence:
+    """The vectorised epoch collection must be bit-faithful to the loop."""
+
+    @pytest.mark.parametrize("kind", ["coordl", "dali-shuffle", "pytorch"])
+    def test_fast_and_slow_paths_agree(self, kind):
+        runner_args = dict(scale=SCALE, seed=0)
+        sweeps = {}
+        for fast in (False, True):
+            runner = SweepRunner(config_ssd_v100, fast_path=fast, **runner_args)
+            sweeps[fast] = runner.run(SweepRunner.grid(
+                models=[RESNET18], loaders=[kind], cache_fractions=(0.5,),
+                dataset="openimages", num_epochs=3))
+        slow = sweeps[False].records[0].run
+        fast = sweeps[True].records[0].run
+        for slow_epoch, fast_epoch in zip(slow.epochs, fast.epochs):
+            assert fast_epoch.epoch_time_s == pytest.approx(
+                slow_epoch.epoch_time_s, abs=1e-9)
+            assert fast_epoch.prep_limited_time_s == pytest.approx(
+                slow_epoch.prep_limited_time_s, abs=1e-9)
+            assert fast_epoch.gpu_time_s == pytest.approx(
+                slow_epoch.gpu_time_s, abs=1e-9)
+            assert fast_epoch.samples == slow_epoch.samples
+            assert fast_epoch.cache_hits == slow_epoch.cache_hits
+            assert fast_epoch.cache_misses == slow_epoch.cache_misses
+            assert fast_epoch.io.disk_requests == slow_epoch.io.disk_requests
+            assert fast_epoch.io.cache_requests == slow_epoch.io.cache_requests
+            assert fast_epoch.io.disk_bytes == pytest.approx(
+                slow_epoch.io.disk_bytes, rel=1e-12)
+            slow_tl = slow_epoch.io.timeline
+            fast_tl = fast_epoch.io.timeline
+            assert len(slow_tl) == len(fast_tl)
+            if slow_tl:
+                assert np.allclose([t for t, _ in slow_tl], [t for t, _ in fast_tl],
+                                   atol=1e-9)
+                assert np.allclose([b for _, b in slow_tl], [b for _, b in fast_tl],
+                                   rtol=1e-12)
+
+    def test_fast_path_declines_shared_caches_with_history(self):
+        """A warm page cache shared across loaders still simulates exactly."""
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        dataset = runner.dataset("openimages")
+        server = config_ssd_v100(cache_bytes=dataset.total_bytes * 0.5)
+        results = {}
+        for fast in (False, True):
+            loader = build_loader("dali-shuffle", dataset, server, RESNET18, seed=0)
+            sim = PipelineSimulator(RESNET18, server.gpu, fast_path=fast)
+            results[fast] = [e.epoch_time_s for e in sim.run_epochs(loader, 3)]
+        assert results[True] == pytest.approx(results[False], abs=1e-9)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Fail if any symbol in ``repro.__all__`` is missing from docs/API.md.
+
+Run as ``make docs-check`` (or ``PYTHONPATH=src python tools/docs_check.py``).
+The check is textual on purpose: a symbol counts as documented when its name
+appears anywhere in docs/API.md, so tables, prose and code snippets all
+qualify, and renames/removals surface immediately.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402  (path bootstrap above)
+
+
+def main() -> int:
+    api_doc = REPO_ROOT / "docs" / "API.md"
+    if not api_doc.exists():
+        print(f"docs-check: {api_doc} does not exist", file=sys.stderr)
+        return 1
+    text = api_doc.read_text(encoding="utf-8")
+    missing = [name for name in repro.__all__ if name not in text]
+    if missing:
+        print("docs-check: symbols in repro.__all__ missing from docs/API.md:",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  - {name}", file=sys.stderr)
+        return 1
+    print(f"docs-check: all {len(repro.__all__)} public symbols documented "
+          "in docs/API.md")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
