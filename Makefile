@@ -4,19 +4,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench docs-check check
+.PHONY: test bench bench-smoke docs-check check
 
 ## Tier-1 test suite (must stay green).
 test:
 	$(PYTHON) -m pytest -x -q tests
 
-## Reproduce the paper's tables/figures and the sweep-speed benchmark.
+## Reproduce the paper's tables/figures and the sweep-speed benchmarks.
 bench:
 	$(PYTHON) -m pytest -q benchmarks -s
 
-## Verify every repro.__all__ symbol is documented in docs/API.md.
+## Quick benchmark smoke: the two vectorised-vs-reference sweep speed gates
+## (Fig. 3 and Fig. 9b) — fast enough to run on every push.
+bench-smoke:
+	$(PYTHON) -m pytest -q -s benchmarks/test_sweep_speed.py \
+	    benchmarks/test_distributed_sweep_speed.py
+
+## Verify every public __all__ symbol (repro, repro.sim, repro.coordl) is
+## documented in docs/API.md.
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
 ## Everything the CI gate runs.
-check: test docs-check
+check: test docs-check bench-smoke

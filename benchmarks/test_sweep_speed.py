@@ -12,6 +12,7 @@ path, once forced onto the per-batch ``fetch_batch`` loop — and asserts that
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Tuple
 
@@ -21,8 +22,10 @@ from repro.experiments.base import SWEEP_SCALE
 from repro.experiments.fig3_cache_sweep import DEFAULT_FRACTIONS
 from repro.sim.sweep import SweepRunner
 
-#: Wall-clock advantage the vectorised sweep must demonstrate.
-MIN_SPEEDUP = 3.0
+#: Wall-clock advantage the vectorised sweep must demonstrate.  Overridable
+#: so shared CI runners (noisy neighbours, throttled cores) can keep the
+#: exactness gate hard while softening the timing gate.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 
 #: Best-of repetitions per path (damps scheduler noise in the ratio).
 REPEATS = 2

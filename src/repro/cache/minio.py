@@ -64,21 +64,8 @@ class MinIOCache(Cache):
         self._member_table = None
         return True
 
-    def bulk_epoch_hits(self, item_ids: np.ndarray,
-                        sizes: np.ndarray) -> Optional[np.ndarray]:
-        """One whole epoch of distinct accesses, vectorised.
-
-        MinIO's trajectory over a single-pass epoch is always analytic: it
-        never evicts, so an access hits iff the item was resident when the
-        epoch started (an item admitted mid-epoch is not re-requested within
-        the same epoch), and admissions are the greedy insert-while-space
-        scan over the missed items in access order.  The mask, counters and
-        cache contents after this call are identical to per-item ``lookup`` +
-        ``admit`` calls over the same access stream.
-        """
-        item_ids = np.asarray(item_ids, dtype=np.int64)
-        sizes = np.asarray(sizes, dtype=np.float64)
-        max_id = int(item_ids.max(initial=0))
+    def _membership_table(self, max_id: int) -> np.ndarray:
+        """Boolean residency table covering ids up to ``max_id`` (memoised)."""
         table = self._member_table
         if table is None or table.size <= max_id:
             table = np.zeros(max_id + 1, dtype=bool)
@@ -89,6 +76,37 @@ class MinIOCache(Cache):
                 table = np.zeros(table_size, dtype=bool)
                 table[resident] = True
             self._member_table = table
+        return table
+
+    def contains_array(self, item_ids: np.ndarray) -> np.ndarray:
+        """Residency mask for many ids at once (no stats side effects)."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        return self._membership_table(int(item_ids.max(initial=0)))[item_ids]
+
+    def bulk_epoch_hits(self, item_ids: np.ndarray, sizes: np.ndarray,
+                        admit: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+        """One whole epoch of distinct accesses, vectorised.
+
+        MinIO's trajectory over a single-pass epoch is always analytic: it
+        never evicts, so an access hits iff the item was resident when the
+        epoch started (an item admitted mid-epoch is not re-requested within
+        the same epoch), and admissions are the greedy insert-while-space
+        scan over the missed items in access order.  The mask, counters and
+        cache contents after this call are identical to per-item ``lookup`` +
+        ``admit`` calls over the same access stream.
+
+        Args:
+            item_ids: Pairwise-distinct access stream.
+            sizes: Item byte sizes, aligned with ``item_ids``.
+            admit: Optional boolean mask marking which accesses may be
+                offered for admission after a miss.  Misses outside the mask
+                are still counted as misses but are never ``admit``-ed (the
+                partitioned loader uses this: remote-cache hits avoid the
+                local miss path's admission).  ``None`` offers every miss.
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.float64)
+        table = self._membership_table(int(item_ids.max(initial=0)))
         hits = table[item_ids]
 
         self._stats.hits += int(hits.sum())
@@ -96,13 +114,14 @@ class MinIOCache(Cache):
         misses = ~hits
         self._stats.misses += int(misses.sum())
 
-        miss_sizes = sizes[misses]
+        offered = misses if admit is None else misses & np.asarray(admit, dtype=bool)
+        miss_sizes = sizes[offered]
         if miss_sizes.size:
             # Greedy admission scan over the missed items in access order.
             # The suffix-minimum lets the scan stop as soon as nothing that
             # is still to come can possibly fit (O(1) on a full cache).
             suffix_min = np.minimum.accumulate(miss_sizes[::-1])[::-1].tolist()
-            miss_ids = item_ids[misses].tolist()
+            miss_ids = item_ids[offered].tolist()
             size_list = miss_sizes.tolist()
             capacity = self._capacity
             used = self._used

@@ -202,6 +202,63 @@ class PageCache(Cache):
             self._inactive_bytes = float(inserted_sizes[-keep:].sum())
         return np.zeros(item_ids.size, dtype=bool)
 
+    def bulk_saturating_hits(self, item_ids: np.ndarray,
+                             sizes: np.ndarray) -> Optional[np.ndarray]:
+        """A multi-pass access stream in bulk, when eviction is impossible.
+
+        Unlike :meth:`bulk_epoch_hits` the stream may revisit items (the
+        HP-search baseline interleaves several jobs' epochs over one shared
+        page cache).  The trajectory is analytic exactly when the cache can
+        never evict during the stream: every distinct accessed item fits in
+        the capacity alongside whatever resident bytes lie outside the
+        accessed set.  Then an access hits iff its item is already resident
+        or occurred earlier in the stream, every first-touch miss is
+        admitted, and the hit/miss/insertion counters and residency after
+        this call equal the per-item ``lookup`` + ``admit`` walk.
+
+        The active/inactive list *ordering* is not reproduced (promotions
+        are skipped): ordering is only observable through future evictions,
+        which the no-eviction precondition rules out for as long as later
+        accesses stay within ``item_ids``.  Callers must confine the cache
+        to this item universe afterwards (the HP-search scenario does — one
+        page cache per dataset and run).
+
+        Returns ``None`` without side effects when the no-eviction
+        precondition does not hold and the caller must walk item by item.
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if item_ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        rounded = np.maximum(np.ceil(sizes / self._page_bytes), 1.0) * self._page_bytes
+        distinct, first_pos, inverse = np.unique(item_ids, return_index=True,
+                                                 return_inverse=True)
+        resident = np.fromiter((item in self for item in distinct.tolist()),
+                               dtype=bool, count=distinct.size)
+        stored = rounded[first_pos].copy()
+        for i in np.flatnonzero(resident).tolist():
+            item = int(distinct[i])
+            stored[i] = self._inactive.get(item) or self._active[item]
+        new_rounded = rounded[first_pos[~resident]]
+        # No eviction can ever trigger iff everything admitted still fits on
+        # top of what is resident (re-admissions of resident items are no-ops,
+        # and each new item individually fits because the total does).
+        if self.used_bytes + float(new_rounded.sum()) > self._capacity:
+            return None
+
+        miss = np.zeros(item_ids.size, dtype=bool)
+        miss[first_pos[~resident]] = True
+        self._stats.misses += int(miss.sum())
+        self._stats.hits += int(item_ids.size - miss.sum())
+        per_access_stored = stored[inverse]
+        self._stats.hit_bytes += float(per_access_stored[~miss].sum())
+        self._stats.insertions += int((~resident).sum())
+        new_first = np.sort(first_pos[~resident])
+        for pos in new_first.tolist():
+            self._inactive[int(item_ids[pos])] = float(rounded[pos])
+        self._inactive_bytes += float(rounded[new_first].sum())
+        return ~miss
+
     def _warm_epoch_hits(self, item_ids: np.ndarray,
                          sizes: np.ndarray) -> np.ndarray:
         """Exact warm-epoch sweep: per-item ``lookup`` + ``admit`` on miss."""

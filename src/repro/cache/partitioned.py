@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,7 +64,10 @@ class PartitionedCacheGroup:
             raise ConfigurationError("need at least one server")
         self._dataset = dataset
         self._caches: List[MinIOCache] = [MinIOCache(c) for c in capacities_bytes]
-        self._directory: Dict[int, int] = {}
+        # Dense metadata directory: item id -> owning server, -1 when no
+        # server caches the item.  An array (rather than a dict) keeps the
+        # vectorised epoch path free of per-item Python work.
+        self._owners = np.full(len(dataset), -1, dtype=np.int64)
         self._seed = seed
         self._shards = self._assign_shards()
 
@@ -108,13 +111,14 @@ class PartitionedCacheGroup:
                 item = int(item)
                 size = self._dataset.item_size(item)
                 if self._caches[server].admit(item, size):
-                    self._directory[item] = server
+                    self._owners[item] = server
                 else:
                     break  # MinIO is full; remaining shard items stay on disk
 
     def owner_of(self, item_id: int) -> Optional[int]:
         """Server whose cache holds the item, or None if uncached everywhere."""
-        return self._directory.get(item_id)
+        owner = int(self._owners[item_id])
+        return None if owner < 0 else owner
 
     def lookup(self, server: int, item_id: int) -> PartitionedLookup:
         """Look up an item on behalf of ``server``.
@@ -127,7 +131,7 @@ class PartitionedCacheGroup:
         size = self._dataset.item_size(item_id)
         if self._caches[server].lookup(item_id):
             return PartitionedLookup(LookupSource.LOCAL_CACHE, server, size)
-        owner = self._directory.get(item_id)
+        owner = self.owner_of(item_id)
         if owner is not None and owner != server:
             return PartitionedLookup(LookupSource.REMOTE_CACHE, owner, size)
         return PartitionedLookup(LookupSource.STORAGE, None, size)
@@ -136,9 +140,49 @@ class PartitionedCacheGroup:
         """Let a server try to cache an item it just fetched from storage."""
         size = self._dataset.item_size(item_id)
         admitted = self._caches[server].admit(item_id, size)
-        if admitted and item_id not in self._directory:
-            self._directory[item_id] = server
+        if admitted and self._owners[item_id] < 0:
+            self._owners[item_id] = server
         return admitted
+
+    def bulk_epoch_lookup(self, server: int, item_ids: np.ndarray,
+                          sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """One server's whole epoch of distinct lookups, vectorised.
+
+        Classifies every access of a single-pass epoch (pairwise-distinct
+        ``item_ids``) into local-hit / remote-hit / storage-miss using the
+        same preference order as :meth:`lookup`, then applies *exactly* the
+        side effects the per-item ``lookup`` + ``admit_local`` sequence would
+        have produced: the local MinIO cache's hit/miss counters, the greedy
+        insert-while-space admissions over the storage misses in access
+        order, and the directory updates for the admitted items.
+
+        The classification is analytic because within a single-pass epoch no
+        item is re-requested: MinIO never evicts, so local residency at epoch
+        start decides every local hit, and a mid-epoch admission (which does
+        mutate the directory) concerns an item that is not looked up again.
+
+        Returns:
+            ``(local, remote)`` boolean masks over the accesses; the storage
+            misses are the remainder ``~(local | remote)``.
+        """
+        if not 0 <= server < self.num_servers:
+            raise ConfigurationError(f"server {server} out of range")
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.float64)
+        cache = self._caches[server]
+        local = cache.contains_array(item_ids)
+        owners = self._owners[item_ids]
+        remote = ~local & (owners >= 0) & (owners != server)
+        storage = ~(local | remote)
+        # Local-cache counters + greedy admission over the storage misses
+        # (remote hits count as local misses but are never offered locally).
+        cache.bulk_epoch_hits(item_ids, sizes, admit=storage)
+        if storage.any():
+            # Whatever became resident among the storage misses was admitted;
+            # those items had no owner (else they would have been remote).
+            admitted = storage & cache.contains_array(item_ids)
+            self._owners[item_ids[admitted]] = server
+        return local, remote
 
     def cached_fraction(self) -> float:
         """Fraction of dataset bytes currently cached somewhere in the group."""

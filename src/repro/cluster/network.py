@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import units
 from repro.exceptions import ConfigurationError
 
@@ -51,6 +53,14 @@ class NetworkLink:
         if nbytes < 0:
             raise ConfigurationError("cannot transfer a negative number of bytes")
         return self.rtt_s + nbytes / self.effective_bandwidth
+
+    def transfer_times_array(self, sizes: "np.ndarray") -> "np.ndarray":
+        """Per-request transfer times for many remote fetches (vectorised).
+
+        Element-wise identical to :meth:`transfer_time`; used by the bulk
+        epoch path of the partitioned loader.
+        """
+        return self.rtt_s + np.asarray(sizes, dtype=np.float64) / self.effective_bandwidth
 
     def transfer_rate(self, nbytes: float) -> float:
         """Observed bytes/second for a request of the given size."""

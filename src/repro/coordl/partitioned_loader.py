@@ -9,7 +9,7 @@ link, and only fall back to local storage when no server caches the item.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -120,3 +120,50 @@ class PartitionedCoorDLLoader(DataLoader):
             cache_bytes=cache_bytes,
             remote_bytes=remote_bytes,
         )
+
+    def batch_time_arrays(self, epoch_index: int) -> Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Vectorised distributed epoch: bulk local/remote/storage accounting.
+
+        The partitioned group's trajectory over a single-pass epoch is always
+        analytic (MinIO caches never evict and the directory only gains
+        entries for items that are not re-requested), so the whole epoch is
+        classified into local-hit / remote-hit / storage-miss masks in one
+        :meth:`~repro.cache.partitioned.PartitionedCacheGroup.bulk_epoch_lookup`
+        call and charged to DRAM / network / storage in bulk, with exactly
+        the side effects of the per-item :meth:`fetch_batch` loop (cache
+        counters and admissions, directory updates, loader and store I/O
+        accounting including the disk timeline).  Falls back (``None``,
+        without side effects) for subclass-customised fetch policies and
+        repeated-item epochs.
+        """
+        cls = type(self)
+        if (cls.fetch_batch is not PartitionedCoorDLLoader.fetch_batch
+                or cls.cached_fetch_time is not DataLoader.cached_fetch_time
+                or cls.prep_batch_time is not DataLoader.prep_batch_time):
+            return None
+        plan = self._single_pass_epoch(epoch_index)
+        if plan is None:
+            return None
+        batches, order, sizes = plan
+        local, remote = self._group.bulk_epoch_lookup(self._rank, order, sizes)
+        storage = ~(local | remote)
+
+        # Point of no return: the group has applied its epoch mutations.
+        item_times = np.empty(order.size, dtype=np.float64)
+        item_times[local] = self._dram.read_times_array(sizes[local])
+        item_times[remote] = self._network.transfer_times_array(sizes[remote])
+        item_times[storage] = self._store.bulk_read_times(sizes[storage])
+        clock = np.cumsum(item_times)
+        if storage.any():
+            miss_sizes = sizes[storage]
+            # Store timeline at read start, loader timeline at completion,
+            # exactly as in the per-item path above.
+            self._store.record_bulk(miss_sizes,
+                                    at_times=clock[storage] - item_times[storage])
+            self._io.record_disk_bulk(miss_sizes, at_times=clock[storage])
+        if local.any():
+            self._io.record_cache_bulk(float(sizes[local].sum()), int(local.sum()))
+        if remote.any():
+            self._io.record_remote_bulk(float(sizes[remote].sum()), int(remote.sum()))
+        return self._epoch_arrays(batches, item_times, sizes)

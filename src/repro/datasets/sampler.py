@@ -39,7 +39,18 @@ class Sampler:
 
     @property
     def num_items(self) -> int:
-        """Number of items yielded per epoch."""
+        """Number of items in the sampled universe (the whole dataset)."""
+        return self._num_items
+
+    @property
+    def epoch_length(self) -> int:
+        """Number of items actually yielded per epoch.
+
+        Equal to :attr:`num_items` for whole-dataset samplers; sharded
+        samplers (:class:`DistributedSampler`) yield only their slice, and
+        anything deriving per-epoch counts (``BatchSampler``) must use this,
+        not ``num_items``.
+        """
         return self._num_items
 
     def epoch(self, epoch_index: int) -> np.ndarray:
@@ -135,6 +146,16 @@ class DistributedSampler(Sampler):
         """This sampler's rank."""
         return self._rank
 
+    def _shard_bounds(self) -> tuple:
+        bounds = np.linspace(0, self._num_items, self._num_replicas + 1).astype(int)
+        return int(bounds[self._rank]), int(bounds[self._rank + 1])
+
+    @property
+    def epoch_length(self) -> int:
+        """Items in this rank's shard (constant across epochs)."""
+        lo, hi = self._shard_bounds()
+        return hi - lo
+
     def _global_permutation(self, epoch_index: int) -> np.ndarray:
         # All ranks share the seed, so they agree on the epoch's permutation
         # and therefore on the (disjoint) shard boundaries.
@@ -143,8 +164,7 @@ class DistributedSampler(Sampler):
 
     def epoch(self, epoch_index: int) -> np.ndarray:
         perm = self._global_permutation(epoch_index)
-        shard_bounds = np.linspace(0, self._num_items, self._num_replicas + 1).astype(int)
-        lo, hi = shard_bounds[self._rank], shard_bounds[self._rank + 1]
+        lo, hi = self._shard_bounds()
         return perm[lo:hi]
 
 
@@ -167,6 +187,10 @@ class CachingSampler(Sampler):
     def inner(self) -> Sampler:
         """The sampler whose epochs are being memoised."""
         return self._inner
+
+    @property
+    def epoch_length(self) -> int:
+        return self._inner.epoch_length
 
     def epoch(self, epoch_index: int) -> np.ndarray:
         order = self._orders.get(epoch_index)
@@ -202,8 +226,15 @@ class BatchSampler:
         return self._batch_size
 
     def batches_per_epoch(self) -> int:
-        """Number of minibatches produced per epoch."""
-        full, rem = divmod(self._sampler.num_items, self._batch_size)
+        """Number of minibatches produced per epoch.
+
+        Derived from the sampler's :attr:`~Sampler.epoch_length` (not
+        ``num_items``): a sharded sampler yields only its slice, and counting
+        from the dataset size used to disagree with :meth:`epoch` about
+        whether the final short batch exists — a batch must never be both
+        counted and dropped depending on which path iterates.
+        """
+        full, rem = divmod(self._sampler.epoch_length, self._batch_size)
         if rem and not self._drop_last:
             return full + 1
         return full

@@ -18,9 +18,8 @@ from repro.cluster.configs import config_high_cpu_v100, config_ssd_v100
 from repro.compute.model_zoo import IMAGE_MODELS, MOBILENET_V2, RESNET18, ModelSpec
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
 from repro.pipeline.dali import DALILoader
-from repro.pipeline.pytorch_native import PyTorchNativeLoader
 from repro.sim.engine import PipelineSimulator
-from repro.sim.single_server import SingleServerTraining
+from repro.sim.sweep import SweepPoint, SweepRunner
 
 
 def run_fig12(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
@@ -67,7 +66,16 @@ def run_fig12(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
 def run_fig13(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
               models: Sequence[ModelSpec] = IMAGE_MODELS, seed: int = 0) -> ExperimentResult:
     """Fig. 13 — native PyTorch DL vs DALI-CPU vs DALI-GPU epoch times (cached)."""
-    dataset = scaled_dataset(dataset_name, scale, seed)
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    # GPU prep interferes with the model's own compute, so DALI appears both
+    # as a CPU-prep and a GPU-prep point per model.
+    sweep = runner.run([
+        SweepPoint(model=model, loader=loader, dataset=dataset_name,
+                   cache_fraction=1.2, gpu_prep=gpu_prep)
+        for model in models
+        for loader, gpu_prep in (("pytorch", None), ("dali-shuffle", False),
+                                 ("dali-shuffle", True))
+    ])
     result = ExperimentResult(
         experiment_id="fig13",
         title="Fig. 13 — epoch time: PyTorch DL vs DALI (CPU prep) vs DALI (GPU prep)",
@@ -77,14 +85,11 @@ def run_fig13(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
                "on CPU; GPU prep hurts ResNet50/VGG11"],
     )
     for model in models:
-        server = config_ssd_v100(cache_bytes=dataset.total_bytes * 1.2)
-        training = SingleServerTraining(model, dataset, server, num_epochs=2)
-        pytorch = training.run("pytorch", seed=seed).run.steady_epoch().epoch_time_s
-        dali_cpu = training.run("dali-shuffle", gpu_prep=False,
-                                seed=seed).run.steady_epoch().epoch_time_s
-        # GPU prep interferes with the model's own compute.
-        gpu_prep_run = training.run("dali-shuffle", gpu_prep=True, seed=seed)
-        dali_gpu = gpu_prep_run.run.steady_epoch().epoch_time_s
+        pytorch = sweep.one(model=model, loader="pytorch").steady.epoch_time_s
+        dali_cpu = sweep.one(model=model, loader="dali-shuffle",
+                             gpu_prep=False).steady.epoch_time_s
+        dali_gpu = sweep.one(model=model, loader="dali-shuffle",
+                             gpu_prep=True).steady.epoch_time_s
         best = "dali-gpu" if dali_gpu < dali_cpu else "dali-cpu"
         result.add_row(
             model=model.name,

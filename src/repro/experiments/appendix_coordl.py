@@ -18,9 +18,9 @@ from typing import List, Sequence
 from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
 from repro.compute.model_zoo import ALEXNET, IMAGE_MODELS, RESNET18, RESNET50, ModelSpec
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.distributed import DistributedTraining
 from repro.sim.hp_search import HPSearchScenario
 from repro.sim.single_server import SingleServerTraining
+from repro.sim.sweep import SweepPoint, SweepRunner
 from repro.units import safe_div, speedup
 
 
@@ -28,8 +28,11 @@ def run_fig17(scale: float = SWEEP_SCALE, num_jobs: int = 8,
               cache_fraction: float = 0.35,
               models: Sequence[ModelSpec] = IMAGE_MODELS, seed: int = 0) -> ExperimentResult:
     """Fig. 17 — HP search speedups with the ImageNet-22K dataset."""
-    dataset = scaled_dataset("imagenet-22k", scale, seed)
-    server = config_ssd_v100(cache_bytes=dataset.total_bytes * cache_fraction)
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    sweep = runner.run(SweepRunner.grid(
+        models=list(models), loaders=["hp-baseline", "hp-coordl"],
+        cache_fractions=[cache_fraction], dataset="imagenet-22k",
+        num_jobs=num_jobs, gpus_per_job=1))
     result = ExperimentResult(
         experiment_id="fig17",
         title="Fig. 17 — 8-job HP search on ImageNet-22K (Config-SSD-V100)",
@@ -38,10 +41,8 @@ def run_fig17(scale: float = SWEEP_SCALE, num_jobs: int = 8,
                "lower than OpenImages"],
     )
     for model in models:
-        scenario = HPSearchScenario(model, dataset, server, num_jobs=num_jobs,
-                                    gpus_per_job=1, seed=seed)
-        baseline = scenario.run_baseline()
-        coordl = scenario.run_coordl()
+        baseline = sweep.one(model=model, loader="hp-baseline").hp
+        coordl = sweep.one(model=model, loader="hp-coordl").hp
         result.add_row(
             model=model.name,
             dali_job_throughput=baseline.per_job_throughput,
@@ -54,7 +55,13 @@ def run_fig17(scale: float = SWEEP_SCALE, num_jobs: int = 8,
 def run_fig18(scale: float = SWEEP_SCALE, cache_fraction_per_server: float = 0.65,
               node_counts: Sequence[int] = (2, 3, 4), seed: int = 0) -> ExperimentResult:
     """Fig. 18 — partitioned caching as the job spans 2-4 HDD servers."""
-    dataset = scaled_dataset("openimages", scale, seed)
+    runner = SweepRunner(config_hdd_1080ti, scale=scale, seed=seed)
+    sweep = runner.run([
+        SweepPoint(model=RESNET50, loader=kind, dataset="openimages",
+                   cache_fraction=cache_fraction_per_server, num_servers=nodes)
+        for nodes in node_counts
+        for kind in ("dist-baseline", "dist-coordl")
+    ])
     result = ExperimentResult(
         experiment_id="fig18",
         title="Fig. 18 — ResNet50/OpenImages distributed scaling (HDD servers)",
@@ -65,15 +72,8 @@ def run_fig18(scale: float = SWEEP_SCALE, cache_fraction_per_server: float = 0.6
                "disk GB at full dataset scale"],
     )
     for nodes in node_counts:
-        servers = [
-            config_hdd_1080ti(cache_bytes=dataset.total_bytes * cache_fraction_per_server)
-            for _ in range(nodes)
-        ]
-        training = DistributedTraining(RESNET50, dataset, servers, num_epochs=2)
-        baseline = training.run_baseline(seed=seed)
-        coordl = training.run_coordl(seed=seed)
-        b_epoch = baseline.steady_epochs()[-1]
-        c_epoch = coordl.steady_epochs()[-1]
+        b_epoch = sweep.one(loader="dist-baseline", num_servers=nodes).dist_steady
+        c_epoch = sweep.one(loader="dist-coordl", num_servers=nodes).dist_steady
         result.add_row(
             num_servers=nodes,
             dali_throughput=b_epoch.throughput,
@@ -127,21 +127,18 @@ def run_fig19_20(scale: float = SWEEP_SCALE, cache_fraction: float = 0.65,
 def _pycoordl_rows(dataset_name: str, server_factory, cache_fractions: Sequence[float],
                    scale: float, seed: int) -> List[dict]:
     """Rows for Fig. 21: PyTorch DL vs Py-CoorDL (MinIO policy) per cache size."""
+    runner = SweepRunner(server_factory, scale=scale, seed=seed)
+    # Py-CoorDL keeps the (slow) Pillow prep path but swaps in MinIO.
+    sweep = runner.run(SweepRunner.grid(
+        models=[RESNET18], loaders=["pytorch", "pycoordl"],
+        cache_fractions=list(cache_fractions), dataset=dataset_name))
+    storage_name = server_factory().storage.name
     rows: List[dict] = []
-    dataset = scaled_dataset(dataset_name, scale, seed)
     for fraction in cache_fractions:
-        server = server_factory(cache_bytes=dataset.total_bytes * fraction)
-        training = SingleServerTraining(RESNET18, dataset, server, num_epochs=2)
-        pytorch = training.run("pytorch", seed=seed).run.steady_epoch()
-        # Py-CoorDL keeps the (slow) Pillow prep path but swaps in MinIO.
-        from repro.cache.minio import MinIOCache
-        from repro.pipeline.pytorch_native import PyTorchNativeLoader
-        loader = PyTorchNativeLoader.build(
-            dataset, server, RESNET18.batch_size_for(server.gpu) * server.num_gpus,
-            cache=MinIOCache(server.cache_bytes), seed=seed)
-        pycoordl = training.run_with_loader(loader).run.steady_epoch()
+        pytorch = sweep.one(loader="pytorch", cache_fraction=fraction).steady
+        pycoordl = sweep.one(loader="pycoordl", cache_fraction=fraction).steady
         rows.append({
-            "storage": server.storage.name,
+            "storage": storage_name,
             "cache_pct": 100.0 * fraction,
             "pytorch_epoch_s": pytorch.epoch_time_s,
             "pycoordl_epoch_s": pycoordl.epoch_time_s,

@@ -17,8 +17,8 @@ from repro.compute.model_zoo import ALEXNET, ModelSpec
 from repro.dsanalyzer.predictor import DataStallPredictor
 from repro.dsanalyzer.profiler import DSAnalyzerProfiler
 from repro.dsanalyzer.whatif import optimal_cache_fraction
-from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.single_server import SingleServerTraining
+from repro.experiments.base import ExperimentResult, SWEEP_SCALE
+from repro.sim.sweep import SweepRunner
 
 DEFAULT_FRACTIONS = (0.0, 0.2, 0.4, 0.55, 0.7, 0.85, 1.0)
 
@@ -28,11 +28,16 @@ def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
         seed: int = 0) -> ExperimentResult:
     """Reproduce the cache-size what-if sweep of Fig. 16."""
-    dataset = scaled_dataset(dataset_name, scale, seed)
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    dataset = runner.dataset(dataset_name)
     server = config_ssd_v100()
     profiler = DSAnalyzerProfiler(model, dataset, server, gpu_prep=False)
     predictor = DataStallPredictor(profiler.profile())
     recommendation = optimal_cache_fraction(predictor, dataset)
+    # The empirical curve is a plain cache-fraction sweep of the simulator.
+    sweep = runner.run(SweepRunner.grid(
+        models=[model], loaders=["coordl"], cache_fractions=fractions,
+        dataset=dataset_name, gpu_prep=False))
 
     result = ExperimentResult(
         experiment_id="fig16",
@@ -45,12 +50,7 @@ def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
     )
     for fraction in fractions:
         prediction = predictor.predict(fraction)
-        training = SingleServerTraining(
-            model, dataset,
-            server.with_cache_bytes(dataset.total_bytes * fraction),
-            num_epochs=2)
-        empirical = training.run("coordl", gpu_prep=False,
-                                 seed=seed).run.steady_epoch().throughput
+        empirical = sweep.one(cache_fraction=fraction).steady.throughput
         result.add_row(
             cache_pct=100.0 * fraction,
             predicted_speed=prediction.training_speed,

@@ -2,9 +2,9 @@
 
 On Config-SSD-V100 with only 35 % of each dataset cacheable, the paper finds
 the nine models spend 10–70 % of epoch time blocked on I/O despite prefetching
-and pipelining.  This experiment runs each model with the DALI-shuffle
-baseline on its paper-assigned dataset and reports the fetch-stall fraction
-of a steady-state epoch.
+and pipelining.  The per-model DALI-shuffle grid runs through
+:class:`~repro.sim.sweep.SweepRunner` (each model on its paper-assigned
+dataset); this module only reduces the sweep into the stall-fraction table.
 """
 
 from __future__ import annotations
@@ -13,8 +13,8 @@ from typing import Optional, Sequence
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import ALL_STALL_MODELS, ModelSpec
-from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.single_server import SingleServerTraining
+from repro.experiments.base import ExperimentResult, SWEEP_SCALE
+from repro.sim.sweep import SweepRunner
 
 
 def run(scale: float = SWEEP_SCALE, cache_fraction: float = 0.35,
@@ -22,6 +22,10 @@ def run(scale: float = SWEEP_SCALE, cache_fraction: float = 0.35,
         seed: int = 0) -> ExperimentResult:
     """Reproduce the per-model fetch-stall percentages of Fig. 2."""
     chosen = list(models) if models is not None else list(ALL_STALL_MODELS)
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    sweep = runner.run(SweepRunner.grid(
+        models=chosen, loaders=["dali-shuffle"],
+        cache_fractions=[cache_fraction], num_epochs=num_epochs))
     result = ExperimentResult(
         experiment_id="fig2",
         title=f"Fig. 2 — fetch stalls with {cache_fraction:.0%} of the dataset cached "
@@ -30,16 +34,12 @@ def run(scale: float = SWEEP_SCALE, cache_fraction: float = 0.35,
                  "epoch_time_s", "cache_miss_pct"],
         notes=["paper: DNNs spend 10-70% of epoch time blocked on I/O at a 35% cache"],
     )
-    server_base = config_ssd_v100()
     for model in chosen:
-        dataset = scaled_dataset(model.default_dataset, scale, seed)
-        server = server_base.with_cache_bytes(dataset.total_bytes * cache_fraction)
-        training = SingleServerTraining(model, dataset, server, num_epochs=num_epochs)
-        sim = training.run("dali-shuffle", seed=seed)
-        epoch = sim.run.steady_epoch()
+        record = sweep.one(model=model)
+        epoch = record.steady
         result.add_row(
             model=model.name,
-            dataset=dataset.spec.name,
+            dataset=record.dataset_name,
             fetch_stall_pct=100.0 * epoch.fetch_stall_fraction,
             prep_stall_pct=100.0 * epoch.prep_stall_fraction,
             epoch_time_s=epoch.epoch_time_s,

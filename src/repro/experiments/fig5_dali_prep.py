@@ -3,22 +3,23 @@
 DALI can offload decode/augmentation to the GPU.  On the slower 1080Ti that
 is enough to erase the prep stall with 3 cores per GPU; on the faster V100
 the GPUs demand data so fast that even GPU-assisted prep leaves a ~50 % prep
-stall.  This experiment reproduces the four bars: {1080Ti, V100} x
-{CPU-only prep, CPU+GPU prep} with 3 cores per GPU and a fully cached dataset.
+stall.  The four bars — {1080Ti, V100} x {CPU-only prep, CPU+GPU prep} with
+3 cores per GPU and a fully cached dataset — run as explicit
+:class:`~repro.sim.sweep.SweepPoint`\\ s through one
+:class:`~repro.sim.sweep.SweepRunner` per server SKU.
 """
 
 from __future__ import annotations
 
 from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
 from repro.compute.model_zoo import RESNET18
-from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.single_server import SingleServerTraining
+from repro.experiments.base import ExperimentResult, SWEEP_SCALE
+from repro.sim.sweep import SweepPoint, SweepRunner
 
 
 def run(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
         cores_per_gpu: int = 3, seed: int = 0) -> ExperimentResult:
     """Reproduce the prep-stall comparison of DALI CPU vs GPU prep."""
-    dataset = scaled_dataset(dataset_name, scale, seed)
     result = ExperimentResult(
         experiment_id="fig5",
         title="Fig. 5 — 8-GPU ResNet18: prep stalls with DALI CPU vs GPU prep",
@@ -26,14 +27,17 @@ def run(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
         notes=["dataset fully cached; 3 CPU cores per GPU",
                "paper: GPU prep erases the stall on 1080Ti but leaves ~50% on V100"],
     )
-    servers = [config_hdd_1080ti(), config_ssd_v100()]
-    for server in servers:
-        server = server.with_cache_bytes(dataset.total_bytes * 1.2)
-        cores = min(cores_per_gpu * server.num_gpus, server.physical_cores)
+    for factory in (config_hdd_1080ti, config_ssd_v100):
+        server = factory()
+        cores = float(min(cores_per_gpu * server.num_gpus, server.physical_cores))
+        runner = SweepRunner(factory, scale=scale, seed=seed)
+        sweep = runner.run([
+            SweepPoint(model=RESNET18, loader="dali-shuffle", dataset=dataset_name,
+                       cache_fraction=1.2, cores=cores, gpu_prep=gpu_prep)
+            for gpu_prep in (False, True)
+        ])
         for gpu_prep in (False, True):
-            training = SingleServerTraining(RESNET18, dataset, server, num_epochs=2)
-            sim = training.run("dali-shuffle", cores=cores, gpu_prep=gpu_prep, seed=seed)
-            epoch = sim.run.steady_epoch()
+            epoch = sweep.one(gpu_prep=gpu_prep).steady
             result.add_row(
                 server=server.name,
                 prep_mode="cpu+gpu" if gpu_prep else "cpu-only",

@@ -2,8 +2,8 @@
 
 With the dataset cached and each of the eight GPUs fed by three cores plus
 DALI's GPU-assisted prep, the paper measures prep stalls of 5–65 % of epoch
-time depending on how compute-light the model is.  This experiment reproduces
-the per-model bars on Config-SSD-V100.
+time depending on how compute-light the model is.  The per-model grid runs
+through :class:`~repro.sim.sweep.SweepRunner` on Config-SSD-V100.
 """
 
 from __future__ import annotations
@@ -12,31 +12,32 @@ from typing import Optional, Sequence
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import ALL_STALL_MODELS, ModelSpec
-from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.single_server import SingleServerTraining
+from repro.experiments.base import ExperimentResult, SWEEP_SCALE
+from repro.sim.sweep import SweepRunner
 
 
 def run(scale: float = SWEEP_SCALE, models: Optional[Sequence[ModelSpec]] = None,
         cores_per_gpu: int = 3, seed: int = 0) -> ExperimentResult:
     """Reproduce the per-model prep-stall percentages of Fig. 6."""
     chosen = list(models) if models is not None else list(ALL_STALL_MODELS)
+    server = config_ssd_v100()
+    cores = float(min(cores_per_gpu * server.num_gpus, server.physical_cores))
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    sweep = runner.run(SweepRunner.grid(
+        models=chosen, loaders=["dali-shuffle"], cache_fractions=[1.2],
+        cores=[cores]))
     result = ExperimentResult(
         experiment_id="fig6",
         title="Fig. 6 — prep stall as % of epoch time (8 GPUs, 3 cores/GPU, cached)",
         columns=["model", "dataset", "prep_stall_pct", "throughput", "gpu_rate"],
         notes=["paper: DNNs spend 5-65% of epoch time on blocking prep"],
     )
-    base_server = config_ssd_v100()
     for model in chosen:
-        dataset = scaled_dataset(model.default_dataset, scale, seed)
-        server = base_server.with_cache_bytes(dataset.total_bytes * 1.2)
-        cores = min(cores_per_gpu * server.num_gpus, server.physical_cores)
-        training = SingleServerTraining(model, dataset, server, num_epochs=2)
-        sim = training.run("dali-shuffle", cores=cores, seed=seed)
-        epoch = sim.run.steady_epoch()
+        record = sweep.one(model=model)
+        epoch = record.steady
         result.add_row(
             model=model.name,
-            dataset=dataset.spec.name,
+            dataset=record.dataset_name,
             prep_stall_pct=100.0 * epoch.prep_stall_fraction,
             throughput=epoch.throughput,
             gpu_rate=model.aggregate_gpu_rate(server.gpu, server.num_gpus),

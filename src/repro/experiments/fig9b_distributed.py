@@ -6,7 +6,9 @@ dataset, but without coordination each server still reads the part of its
 epoch.  CoorDL's partitioned cache serves those misses from the other
 server's DRAM over 40 Gbps TCP instead, removing storage I/O entirely after
 the first epoch.  On HDD servers that is worth up to 15x (AlexNet); on SSD
-servers the miss penalty is smaller so gains are 1.3-2.9x.
+servers the miss penalty is smaller so gains are 1.3-2.9x.  The
+(model x loader) grid runs as distributed sweep points through
+:class:`~repro.sim.sweep.SweepRunner` (vectorised partitioned epochs).
 """
 
 from __future__ import annotations
@@ -15,8 +17,8 @@ from typing import Optional, Sequence
 
 from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
 from repro.compute.model_zoo import ALEXNET, AUDIO_M5, RESNET18, RESNET50, SHUFFLENET_V2, ModelSpec
-from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.distributed import DistributedTraining
+from repro.experiments.base import ExperimentResult, SWEEP_SCALE
+from repro.sim.sweep import SweepRunner
 from repro.units import speedup
 
 DEFAULT_HDD_MODELS = (ALEXNET, RESNET18, RESNET50, SHUFFLENET_V2)
@@ -34,6 +36,11 @@ def run(scale: float = SWEEP_SCALE, num_servers: int = 2,
     else:
         factory = config_ssd_v100
         chosen = list(models) if models is not None else list(DEFAULT_SSD_MODELS)
+    runner = SweepRunner(factory, scale=scale, seed=seed)
+    sweep = runner.run(SweepRunner.grid(
+        models=chosen, loaders=["dist-baseline", "dist-coordl"],
+        cache_fractions=[cache_fraction_per_server], num_servers=num_servers,
+        num_epochs=num_epochs))
     result = ExperimentResult(
         experiment_id="fig9b",
         title=f"Fig. 9(b/c) — {num_servers}-server distributed training: CoorDL vs DALI "
@@ -45,19 +52,13 @@ def run(scale: float = SWEEP_SCALE, num_servers: int = 2,
                "disk GB reported at the scaled dataset size"],
     )
     for model in chosen:
-        dataset = scaled_dataset(model.default_dataset, scale, seed)
-        servers = [
-            factory(cache_bytes=dataset.total_bytes * cache_fraction_per_server)
-            for _ in range(num_servers)
-        ]
-        training = DistributedTraining(model, dataset, servers, num_epochs=num_epochs)
-        baseline = training.run_baseline(seed=seed)
-        coordl = training.run_coordl(seed=seed)
-        b_epoch = baseline.steady_epochs()[-1]
-        c_epoch = coordl.steady_epochs()[-1]
+        baseline_rec = sweep.one(model=model, loader="dist-baseline")
+        coordl_rec = sweep.one(model=model, loader="dist-coordl")
+        b_epoch = baseline_rec.dist_steady
+        c_epoch = coordl_rec.dist_steady
         result.add_row(
             model=model.name,
-            dataset=dataset.spec.name,
+            dataset=coordl_rec.dataset_name,
             dali_epoch_s=b_epoch.epoch_time_s,
             coordl_epoch_s=c_epoch.epoch_time_s,
             speedup=speedup(b_epoch.epoch_time_s, c_epoch.epoch_time_s),

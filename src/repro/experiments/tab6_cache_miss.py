@@ -3,26 +3,27 @@
 Training ShuffleNetV2 on OpenImages on Config-SSD-V100 (65 % of the dataset
 fits in the cache), the paper measures 66 % misses / 422 GB of disk reads for
 DALI-seq, 53 % / 340 GB for DALI-shuffle, and the capacity minimum of 35 % /
-225 GB for CoorDL.  This experiment reproduces the three rows (disk I/O is
-reported scaled back to the full dataset size).
+225 GB for CoorDL.  The three loaders run as one
+:class:`~repro.sim.sweep.SweepRunner` grid (disk I/O is reported scaled back
+to the full dataset size).
 """
 
 from __future__ import annotations
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import SHUFFLENET_V2, ModelSpec
-from repro.experiments.base import DEFAULT_SCALE, ExperimentResult, scaled_dataset
-from repro.sim.single_server import SingleServerTraining
+from repro.experiments.base import DEFAULT_SCALE, ExperimentResult
+from repro.sim.sweep import SweepRunner
 
 
 def run(scale: float = DEFAULT_SCALE, model: ModelSpec = SHUFFLENET_V2,
         dataset_name: str = "openimages", cache_fraction: float = 0.65,
         seed: int = 0) -> ExperimentResult:
     """Reproduce the miss-rate / disk-I/O comparison of Table 6."""
-    dataset = scaled_dataset(dataset_name, scale, seed)
-    server = config_ssd_v100(cache_bytes=dataset.total_bytes * cache_fraction)
-    training = SingleServerTraining(model, dataset, server, num_epochs=2)
-
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    sweep = runner.run(SweepRunner.grid(
+        models=[model], loaders=["dali-seq", "dali-shuffle", "coordl"],
+        cache_fractions=[cache_fraction], dataset=dataset_name))
     result = ExperimentResult(
         experiment_id="tab6",
         title=f"Table 6 — cache miss %% and disk I/O ({model.name}/{dataset_name}, "
@@ -35,7 +36,7 @@ def run(scale: float = DEFAULT_SCALE, model: ModelSpec = SHUFFLENET_V2,
     )
     for kind, label in (("dali-seq", "DALI-seq"), ("dali-shuffle", "DALI-shuffle"),
                         ("coordl", "CoorDL")):
-        epoch = training.run(kind, seed=seed).run.steady_epoch()
+        epoch = sweep.one(loader=kind).steady
         result.add_row(
             loader=label,
             cache_miss_pct=100.0 * epoch.cache_miss_ratio,

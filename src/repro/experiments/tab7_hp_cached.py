@@ -4,7 +4,9 @@ Even with no storage I/O at all, eight concurrent HP-search jobs are slowed by
 redundant pre-processing: each job only gets 3 of the 24 cores.  CoorDL's
 coordinated prep removes the redundancy and speeds the jobs up by 1.2-1.9x,
 the exact factor depending on how far each model's GPU ingestion rate exceeds
-a 3-core prep pipeline.  This experiment reproduces the per-model rows.
+a 3-core prep pipeline.  The per-model baseline/CoorDL grid runs through
+:class:`~repro.sim.sweep.SweepRunner`'s HP-search points (the fully-cached
+regime is the analytic page-cache fast path).
 """
 
 from __future__ import annotations
@@ -13,8 +15,8 @@ from typing import Optional, Sequence
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import IMAGE_MODELS, ModelSpec
-from repro.experiments.base import ExperimentResult, SWEEP_SCALE, scaled_dataset
-from repro.sim.hp_search import HPSearchScenario
+from repro.experiments.base import ExperimentResult, SWEEP_SCALE
+from repro.sim.sweep import SweepRunner
 from repro.units import speedup
 
 
@@ -24,7 +26,12 @@ def run(scale: float = SWEEP_SCALE, num_jobs: int = 8,
         seed: int = 0) -> ExperimentResult:
     """Reproduce the fully-cached HP-search speedups of Table 7."""
     chosen = list(models) if models is not None else list(IMAGE_MODELS)
-    dataset = scaled_dataset(dataset_name, scale, seed)
+    runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
+    # A cache larger than the dataset removes every fetch stall.
+    sweep = runner.run(SweepRunner.grid(
+        models=chosen, loaders=["hp-baseline", "hp-coordl"],
+        cache_fractions=[1.2], dataset=dataset_name,
+        num_jobs=num_jobs, gpus_per_job=1))
     result = ExperimentResult(
         experiment_id="tab7",
         title=f"Table 7 — {num_jobs}-job HP search with the dataset fully cached "
@@ -33,13 +40,9 @@ def run(scale: float = SWEEP_SCALE, num_jobs: int = 8,
         notes=["paper: DALI per-job speeds 552-1441 samples/s; CoorDL speedups "
                "1.21-1.87x by eliminating redundant prep"],
     )
-    # A cache larger than the dataset removes every fetch stall.
-    server = config_ssd_v100(cache_bytes=dataset.total_bytes * 1.2)
     for model in chosen:
-        scenario = HPSearchScenario(model, dataset, server, num_jobs=num_jobs,
-                                    gpus_per_job=1, seed=seed)
-        baseline = scenario.run_baseline()
-        coordl = scenario.run_coordl()
+        baseline = sweep.one(model=model, loader="hp-baseline").hp
+        coordl = sweep.one(model=model, loader="hp-coordl").hp
         result.add_row(
             model=model.name,
             dali_samples_per_s=baseline.per_job_throughput,

@@ -182,17 +182,18 @@ class DataLoader:
                 or cls.cached_fetch_time is not DataLoader.cached_fetch_time
                 or cls.prep_batch_time is not DataLoader.prep_batch_time):
             return None
-        batches = self.batches(epoch_index)
-        if not batches:
+        plan = self._single_pass_epoch(epoch_index)
+        if plan is None:
             return None
-        order = np.concatenate(batches)
-        if order.size and int(np.bincount(order).max()) > 1:
-            return None  # an item repeats: cache state matters step by step
-        sizes = self._dataset.item_sizes(order)
+        batches, order, sizes = plan
         hits = self._cache.bulk_epoch_hits(order, sizes)
         if hits is None:
             return None
 
+        # Point of no return: the cache has applied its epoch mutations, so
+        # everything below is unconditional — a fallback from here on would
+        # double-apply counters and disk timelines (see the all-or-nothing
+        # contract of Cache.bulk_epoch_hits).
         item_times = np.where(
             hits,
             self._dram.read_times_array(sizes),
@@ -209,7 +210,28 @@ class DataLoader:
             self._io.record_disk_bulk(miss_sizes, at_times=clock[misses])
         if hits.any():
             self._io.record_cache_bulk(float(sizes[hits].sum()), int(hits.sum()))
+        return self._epoch_arrays(batches, item_times, sizes)
 
+    def _single_pass_epoch(self, epoch_index: int) -> Optional[
+            Tuple[List[np.ndarray], np.ndarray, np.ndarray]]:
+        """``(batches, order, sizes)`` for a single-pass epoch, else ``None``.
+
+        ``None`` (no side effects) when the epoch is empty or revisits an
+        item — then the cache trajectory depends on step-by-step state and
+        the caller must fall back to the per-item path.
+        """
+        batches = self.batches(epoch_index)
+        if not batches:
+            return None
+        order = np.concatenate(batches)
+        if order.size and int(np.bincount(order).max()) > 1:
+            return None  # an item repeats: cache state matters step by step
+        return batches, order, self._dataset.item_sizes(order)
+
+    def _epoch_arrays(self, batches: List[np.ndarray], item_times: np.ndarray,
+                      sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray,
+                                                  np.ndarray, np.ndarray]:
+        """Reduce per-item fetch times to the per-batch arrays the engine wants."""
         batch_sizes = np.fromiter((len(b) for b in batches), dtype=np.int64,
                                   count=len(batches))
         starts = np.concatenate(([0], np.cumsum(batch_sizes)[:-1]))

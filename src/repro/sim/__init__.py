@@ -21,6 +21,7 @@ from repro.sim.single_server import (
     build_loader,
 )
 from repro.sim.sweep import (
+    DISTRIBUTED_KINDS,
     HP_SEARCH_KINDS,
     SweepPoint,
     SweepRecord,
@@ -38,6 +39,7 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "HP_SEARCH_KINDS",
+    "DISTRIBUTED_KINDS",
     "SingleServerTraining",
     "SingleServerResult",
     "build_loader",

@@ -142,11 +142,14 @@ class DistributedTraining:
         servers: Participating servers (assumed homogeneous, as in the paper).
         num_epochs: Epochs to simulate (first is warm-up).
         queue_depth: Prefetch queue depth.
+        fast_path: Allow the per-server vectorised epoch collection (exact;
+            disable to force the per-item reference path, e.g. in
+            equivalence tests and benchmarks).
     """
 
     def __init__(self, model: ModelSpec, dataset: SyntheticDataset,
                  servers: List[ServerConfig], num_epochs: int = 3,
-                 queue_depth: int = 4) -> None:
+                 queue_depth: int = 4, fast_path: bool = True) -> None:
         if len(servers) < 2:
             raise ConfigurationError("distributed training needs at least two servers")
         if num_epochs < 2:
@@ -156,11 +159,13 @@ class DistributedTraining:
         self._servers = servers
         self._num_epochs = num_epochs
         self._queue_depth = queue_depth
+        self._fast_path = fast_path
 
     def _run(self, loaders: List[DataLoader], name: str,
              gpu_prep: bool) -> DistributedResult:
         simulators = [
-            PipelineSimulator(self._model, server.gpu, queue_depth=self._queue_depth)
+            PipelineSimulator(self._model, server.gpu, queue_depth=self._queue_depth,
+                              fast_path=self._fast_path)
             for server in self._servers
         ]
         epochs: List[DistributedEpoch] = []

@@ -85,11 +85,15 @@ class HPSearchScenario:
             exceed the server's GPU count).
         cache_bytes: Override the server's cache budget.
         seed: Seed for the per-job access streams.
+        fast_path: Allow the vectorised/analytic epoch simulations (exact;
+            disable to force the per-item reference paths, e.g. in
+            equivalence tests and benchmarks).
     """
 
     def __init__(self, model: ModelSpec, dataset: SyntheticDataset,
                  server: ServerConfig, num_jobs: int = 8, gpus_per_job: int = 1,
-                 cache_bytes: Optional[float] = None, seed: int = 0) -> None:
+                 cache_bytes: Optional[float] = None, seed: int = 0,
+                 fast_path: bool = True) -> None:
         if num_jobs <= 0 or gpus_per_job <= 0:
             raise ConfigurationError("jobs and GPUs per job must be positive")
         if num_jobs * gpus_per_job > server.num_gpus:
@@ -102,6 +106,7 @@ class HPSearchScenario:
         self._num_jobs = num_jobs
         self._gpus_per_job = gpus_per_job
         self._seed = seed
+        self._fast_path = fast_path
 
     # -- shared helpers ----------------------------------------------------
 
@@ -130,9 +135,33 @@ class HPSearchScenario:
 
     # -- baseline: independent pipelines through the shared page cache ------
 
+    def _interleaved_order(self, epoch: int) -> np.ndarray:
+        """The jobs' lockstep-interleaved access stream, built in bulk.
+
+        Identical, access for access, to the nested loops of the per-item
+        reference :meth:`_simulate_shared_page_cache_epoch`: jobs advance one
+        minibatch at a time (per-iteration GPU synchronisation), so the
+        stream is batch 0 of every job, then batch 1 of every job, and so on,
+        with the ragged final slice per job appended in job order.
+        """
+        num_items = len(self._dataset)
+        orders = np.stack([
+            RandomSampler(num_items, seed=(self._seed, job)).epoch(epoch)
+            for job in range(self._num_jobs)
+        ])
+        batch = self._batch_size()
+        full = (num_items // batch) * batch
+        head = orders[:, :full].reshape(self._num_jobs, -1, batch)
+        head = head.transpose(1, 0, 2).reshape(-1)
+        return np.concatenate([head, orders[:, full:].reshape(-1)])
+
     def _simulate_shared_page_cache_epoch(self, cache: PageCache, epoch: int,
                                           sequential_jobs: bool = False) -> float:
-        """Interleave the jobs' access streams; return disk bytes for the epoch."""
+        """Interleave the jobs' access streams; return disk bytes for the epoch.
+
+        Per-item reference path, kept as the executable specification the
+        bulk paths of :meth:`_shared_page_cache_epoch` are tested against.
+        """
         num_items = len(self._dataset)
         orders = []
         for job in range(self._num_jobs):
@@ -152,15 +181,41 @@ class HPSearchScenario:
                         cache.admit(item_id, size)
         return disk_bytes
 
+    def _shared_page_cache_epoch(self, cache: PageCache, epoch: int) -> float:
+        """One interleaved epoch over the shared page cache (fast when allowed).
+
+        The analytic path applies when the cache can never evict during the
+        stream (:meth:`~repro.cache.page_cache.PageCache.bulk_saturating_hits`
+        — the fully-cached Table 7 regime); otherwise the exact sweep drives
+        the same ``lookup``/``admit`` state machine over the bulk-built
+        interleaving, with the per-access size lookups vectorised away.
+        Either way the cache mutations, counters and returned disk bytes
+        match the per-item reference.
+        """
+        if not self._fast_path:
+            return self._simulate_shared_page_cache_epoch(cache, epoch)
+        order = self._interleaved_order(epoch)
+        sizes = self._dataset.item_sizes(order)
+        hits = cache.bulk_saturating_hits(order, sizes)
+        if hits is not None:
+            return float(sizes[~hits].sum())
+        disk_bytes = 0.0
+        lookup, admit = cache.lookup, cache.admit
+        for item_id, size in zip(order.tolist(), sizes.tolist()):
+            if not lookup(item_id):
+                disk_bytes += size
+                admit(item_id, size)
+        return disk_bytes
+
     def run_baseline(self, measured_epoch: int = 1,
                      library: str = "dali") -> HPSearchResult:
         """Simulate uncoordinated HP search (DALI or PyTorch DL per job)."""
         cache = PageCache(self._server.cache_bytes)
         # Warm-up epoch populates the cache; the next epoch is measured.
         for epoch in range(measured_epoch):
-            self._simulate_shared_page_cache_epoch(cache, epoch)
+            self._shared_page_cache_epoch(cache, epoch)
         cache.reset_stats()
-        disk_bytes = self._simulate_shared_page_cache_epoch(cache, measured_epoch)
+        disk_bytes = self._shared_page_cache_epoch(cache, measured_epoch)
         miss_ratio = cache.stats.miss_ratio
 
         num_items = len(self._dataset)
@@ -189,7 +244,11 @@ class HPSearchScenario:
     # -- CoorDL: MinIO + coordinated prep -----------------------------------
 
     def _simulate_minio_epoch(self, cache: MinIOCache, epoch: int) -> float:
-        """One coordinated sweep over the dataset through the MinIO cache."""
+        """One coordinated sweep over the dataset through the MinIO cache.
+
+        Per-item reference path (executable specification of
+        :meth:`_minio_epoch`).
+        """
         sampler = RandomSampler(len(self._dataset), seed=(self._seed, 0xC0))
         disk_bytes = 0.0
         for item in sampler.epoch(epoch):
@@ -199,6 +258,17 @@ class HPSearchScenario:
                 disk_bytes += size
                 cache.admit(item_id, size)
         return disk_bytes
+
+    def _minio_epoch(self, cache: MinIOCache, epoch: int) -> float:
+        """One coordinated sweep, vectorised when allowed (MinIO is analytic)."""
+        if self._fast_path:
+            sampler = RandomSampler(len(self._dataset), seed=(self._seed, 0xC0))
+            order = sampler.epoch(epoch)
+            sizes = self._dataset.item_sizes(order)
+            hits = cache.bulk_epoch_hits(order, sizes)
+            if hits is not None:
+                return float(sizes[~hits].sum())
+        return self._simulate_minio_epoch(cache, epoch)
 
     def _staging_peak_bytes(self) -> float:
         """Peak staging-area memory for one coordinated epoch."""
@@ -212,9 +282,9 @@ class HPSearchScenario:
         """Simulate coordinated HP search (MinIO cache + coordinated prep)."""
         cache = MinIOCache(self._server.cache_bytes)
         for epoch in range(measured_epoch):
-            self._simulate_minio_epoch(cache, epoch)
+            self._minio_epoch(cache, epoch)
         cache.reset_stats()
-        disk_bytes = self._simulate_minio_epoch(cache, measured_epoch)
+        disk_bytes = self._minio_epoch(cache, measured_epoch)
         miss_ratio = cache.stats.miss_ratio
 
         num_items = len(self._dataset)

@@ -23,8 +23,10 @@ from repro.pipeline.pytorch_native import PyTorchNativeLoader
 from repro.pipeline.stats import TrainingRunStats
 from repro.sim.engine import PipelineSimulator
 
-#: Loader names accepted by :func:`build_loader`.
-LOADER_KINDS = ("pytorch", "dali-seq", "dali-shuffle", "coordl")
+#: Loader names accepted by :func:`build_loader`.  "pycoordl" is Appendix E's
+#: Py-CoorDL: the native PyTorch DataLoader (Pillow prep) with the page cache
+#: swapped for CoorDL's MinIO policy.
+LOADER_KINDS = ("pytorch", "dali-seq", "dali-shuffle", "coordl", "pycoordl")
 
 #: Minimum number of minibatches per epoch the simulation keeps, so that the
 #: pipelined overlap of fetch/prep/compute remains realistic on the scaled
@@ -81,6 +83,12 @@ def build_loader(kind: str, dataset: SyntheticDataset, server: ServerConfig,
     if kind == "pytorch":
         return PyTorchNativeLoader.build(dataset, server, batch_size,
                                          num_gpus=gpus, cores=cores, seed=seed,
+                                         sampler=sampler)
+    if kind == "pycoordl":
+        from repro.cache.minio import MinIOCache
+        return PyTorchNativeLoader.build(dataset, server, batch_size,
+                                         num_gpus=gpus, cores=cores, seed=seed,
+                                         cache=MinIOCache(server.cache_bytes),
                                          sampler=sampler)
     if kind in ("dali-seq", "dali-shuffle"):
         mode = "seq" if kind == "dali-seq" else "shuffle"

@@ -16,10 +16,12 @@ replaces those loops with one subsystem that
 * returns a tidy :class:`SweepResult` the experiment modules reduce into
   their :class:`~repro.experiments.base.ExperimentResult` tables.
 
-Two point kinds are supported: single-server training sweeps
-(``loader`` in :data:`~repro.sim.single_server.LOADER_KINDS`) and
-HP-search scenario sweeps (``loader`` in :data:`HP_SEARCH_KINDS`, which
-run :class:`~repro.sim.hp_search.HPSearchScenario` per point).
+Three point kinds are supported: single-server training sweeps
+(``loader`` in :data:`~repro.sim.single_server.LOADER_KINDS`), HP-search
+scenario sweeps (``loader`` in :data:`HP_SEARCH_KINDS`, which run
+:class:`~repro.sim.hp_search.HPSearchScenario` per point), and multi-server
+distributed sweeps (``loader`` in :data:`DISTRIBUTED_KINDS`, which run
+:class:`~repro.sim.distributed.DistributedTraining` per point).
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from repro.datasets.dataset import SyntheticDataset
 from repro.datasets.sampler import CachingSampler, RandomSampler, Sampler
 from repro.exceptions import ConfigurationError
 from repro.pipeline.stats import EpochStats, TrainingRunStats
+from repro.sim.distributed import DistributedEpoch, DistributedResult, DistributedTraining
 from repro.sim.engine import PipelineSimulator
 from repro.sim.hp_search import HPSearchResult, HPSearchScenario
 from repro.sim.single_server import LOADER_KINDS, build_loader
@@ -42,6 +45,10 @@ from repro.sim.single_server import LOADER_KINDS, build_loader
 #: Sweep-point kinds simulated through :class:`HPSearchScenario` instead of
 #: the single-server epoch pipeline.
 HP_SEARCH_KINDS = ("hp-baseline", "hp-coordl")
+
+#: Sweep-point kinds simulated through :class:`DistributedTraining`
+#: (``cache_fraction`` / ``cache_bytes`` are per-server budgets there).
+DISTRIBUTED_KINDS = ("dist-baseline", "dist-coordl")
 
 
 @dataclass(frozen=True)
@@ -51,22 +58,26 @@ class SweepPoint:
     Attributes:
         model: DNN trained at this point.
         loader: One of :data:`~repro.sim.single_server.LOADER_KINDS` for
-            single-server training points, or one of :data:`HP_SEARCH_KINDS`
-            for HP-search scenario points.
+            single-server training points, one of :data:`HP_SEARCH_KINDS`
+            for HP-search scenario points, or one of
+            :data:`DISTRIBUTED_KINDS` for multi-server points.
         dataset: Catalog name of the dataset; ``None`` uses the model's
             ``default_dataset`` (the Fig. 6/9 per-model convention).
         cache_fraction: Cache budget as a fraction of the dataset's bytes
             (may exceed 1.0 for fully-cached configurations); mutually
             exclusive with ``cache_bytes``.  ``None`` keeps the server's
-            default budget.
+            default budget.  For distributed points this is the *per-server*
+            budget (Fig. 9b's convention).
         cache_bytes: Absolute cache budget override.
         cores: Physical prep cores for the job (``None``: all).
         num_gpus: GPUs used by the job (``None``: all on the server).
         batch_size: Explicit per-iteration batch size (``None``: derived
             from the model, clamped for scaled datasets).
-        gpu_prep: Force GPU prep on/off (``None``: faster variant).
+        gpu_prep: Force GPU prep on/off (``None``: faster variant; treated
+            as off for distributed points, matching Fig. 9b).
         num_epochs: Epochs to simulate (first is the cold-cache warm-up).
         num_jobs / gpus_per_job: HP-search points only.
+        num_servers: Distributed points only (homogeneous servers).
         label: Free-form tag carried through to the record.
     """
 
@@ -82,24 +93,56 @@ class SweepPoint:
     num_epochs: int = 2
     num_jobs: int = 8
     gpus_per_job: int = 1
+    num_servers: int = 2
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.loader not in LOADER_KINDS + HP_SEARCH_KINDS:
+        known = LOADER_KINDS + HP_SEARCH_KINDS + DISTRIBUTED_KINDS
+        if self.loader not in known:
             raise ConfigurationError(
-                f"unknown sweep loader {self.loader!r}; expected one of "
-                f"{LOADER_KINDS + HP_SEARCH_KINDS}")
+                f"unknown sweep loader {self.loader!r}; expected one of {known}")
         if self.cache_fraction is not None and self.cache_bytes is not None:
             raise ConfigurationError(
                 "give cache_fraction or cache_bytes, not both")
         if not self.is_hp_search and self.num_epochs < 2:
             raise ConfigurationError(
                 "need at least two epochs (warm-up + one measured epoch)")
+        if self.is_distributed and self.num_servers < 2:
+            raise ConfigurationError(
+                "distributed sweep points need at least two servers")
+        # Fields that a point kind does not plumb through are rejected rather
+        # than silently ignored: a plausible-looking result simulated without
+        # the requested knob is worse than an error.
+        if self.is_hp_search or self.is_distributed:
+            inapplicable = [("batch_size", self.batch_size),
+                            ("cores", self.cores),
+                            ("num_gpus", self.num_gpus)]
+            if self.is_hp_search:
+                inapplicable.append(("gpu_prep", self.gpu_prep))
+            bad = [name for name, value in inapplicable if value is not None]
+            if bad:
+                raise ConfigurationError(
+                    f"{self.loader!r} sweep points do not support {bad} "
+                    "(training-point-only fields)")
+        else:
+            defaults = (("num_jobs", self.num_jobs, 8),
+                        ("gpus_per_job", self.gpus_per_job, 1),
+                        ("num_servers", self.num_servers, 2))
+            bad = [name for name, value, default in defaults if value != default]
+            if bad:
+                raise ConfigurationError(
+                    f"training sweep points do not support {bad} "
+                    "(HP-search/distributed-point-only fields)")
 
     @property
     def is_hp_search(self) -> bool:
         """Whether this point runs through the HP-search scenario."""
         return self.loader in HP_SEARCH_KINDS
+
+    @property
+    def is_distributed(self) -> bool:
+        """Whether this point runs through the distributed scenario."""
+        return self.loader in DISTRIBUTED_KINDS
 
 
 @dataclass
@@ -107,7 +150,8 @@ class SweepRecord:
     """Outcome of one sweep point.
 
     Training points carry the full multi-epoch ``run``; HP-search points
-    carry the scenario's steady-state ``hp`` result instead.
+    carry the scenario's steady-state ``hp`` result; distributed points
+    carry the multi-epoch, multi-server ``dist`` result.
     """
 
     point: SweepPoint
@@ -115,6 +159,7 @@ class SweepRecord:
     loader_name: str
     run: Optional[TrainingRunStats] = None
     hp: Optional[HPSearchResult] = None
+    dist: Optional[DistributedResult] = None
 
     @property
     def steady(self) -> EpochStats:
@@ -122,8 +167,16 @@ class SweepRecord:
         if self.run is None:
             raise ConfigurationError(
                 f"sweep point {self.point.loader!r} has no epoch run "
-                "(HP-search points expose .hp)")
+                "(HP-search points expose .hp, distributed points .dist)")
         return self.run.steady_epoch()
+
+    @property
+    def dist_steady(self) -> DistributedEpoch:
+        """Representative steady-state job epoch (distributed points)."""
+        if self.dist is None:
+            raise ConfigurationError(
+                f"sweep point {self.point.loader!r} has no distributed run")
+        return self.dist.steady_epochs()[-1]
 
     def row(self) -> Dict[str, Any]:
         """Tidy-table row: the point's configuration plus key metrics."""
@@ -143,6 +196,14 @@ class SweepRecord:
                 throughput=self.hp.per_job_throughput,
                 disk_bytes=self.hp.disk_bytes_per_epoch,
                 cache_miss_ratio=self.hp.cache_miss_ratio,
+            )
+        elif self.dist is not None:
+            steady = self.dist_steady
+            values.update(
+                epoch_time_s=steady.epoch_time_s,
+                throughput=steady.throughput,
+                disk_bytes=steady.total_disk_bytes,
+                remote_bytes=steady.total_remote_bytes,
             )
         else:
             steady = self.steady
@@ -281,6 +342,8 @@ class SweepRunner:
     def _run_point(self, point: SweepPoint) -> SweepRecord:
         if point.is_hp_search:
             return self._run_hp_point(point)
+        if point.is_distributed:
+            return self._run_distributed_point(point)
         dataset, server = self._resolve(point)
         # dali-seq builds its own shuffle-buffer sampler (the storage-visible
         # order is what matters there); every other kind shares the memoised
@@ -304,10 +367,32 @@ class SweepRunner:
         scenario = HPSearchScenario(point.model, dataset, server,
                                     num_jobs=point.num_jobs,
                                     gpus_per_job=point.gpus_per_job,
-                                    seed=self._seed)
+                                    seed=self._seed,
+                                    fast_path=self._fast_path)
         if point.loader == "hp-baseline":
             hp = scenario.run_baseline()
         else:
             hp = scenario.run_coordl()
         return SweepRecord(point=point, dataset_name=dataset.spec.name,
                            loader_name=hp.loader_name, hp=hp)
+
+    def _run_distributed_point(self, point: SweepPoint) -> SweepRecord:
+        dataset, server = self._resolve(point)
+        # Homogeneous servers, as in the paper's distributed experiments.
+        servers = [server for _ in range(point.num_servers)]
+        training = DistributedTraining(point.model, dataset, servers,
+                                       num_epochs=point.num_epochs,
+                                       queue_depth=self._queue_depth,
+                                       fast_path=self._fast_path)
+        # Per-rank DistributedSampler shards (and the shard assignment of the
+        # partitioned cache group) must derive from the runner's shared seed
+        # so repeated sweeps are reproducible and ranks agree on each epoch's
+        # permutation (drawing disjoint slices of it, never identical ones).
+        if point.loader == "dist-baseline":
+            dist = training.run_baseline(gpu_prep=bool(point.gpu_prep),
+                                         seed=self._seed)
+        else:
+            dist = training.run_coordl(gpu_prep=bool(point.gpu_prep),
+                                       seed=self._seed)
+        return SweepRecord(point=point, dataset_name=dataset.spec.name,
+                           loader_name=dist.loader_name, dist=dist)

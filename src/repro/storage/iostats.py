@@ -103,6 +103,11 @@ class IOStats:
         self.remote_bytes += nbytes
         self.remote_requests += 1
 
+    def record_remote_bulk(self, total_bytes: float, requests: int) -> None:
+        """Account many remote-cache reads at once (vectorised fetch path)."""
+        self.remote_bytes += float(total_bytes)
+        self.remote_requests += int(requests)
+
     @property
     def total_requests(self) -> int:
         """All item reads regardless of source."""

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.cache.lru import LRUCache
 from repro.cache.minio import MinIOCache
 from repro.cache.page_cache import PageCache
+from repro.cache.partitioned import LookupSource, PartitionedCacheGroup
 from repro.coordl.coordinated_prep import CoordinatedPrepPlan
 from repro.coordl.staging import StagingArea
 from repro.datasets.catalog import DatasetSpec
@@ -260,6 +261,107 @@ class TestMakespanProperties:
             assert bulk.used_bytes == pytest.approx(scalar.used_bytes)
             for field in ("hits", "misses", "insertions", "evictions", "rejected"):
                 assert getattr(bulk.stats, field) == getattr(scalar.stats, field)
+
+    @given(num_items=st.integers(1, 60), num_passes=st.integers(1, 4),
+           headroom=st.floats(min_value=1.0, max_value=2.0), seed=seeds,
+           warm=st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_page_cache_saturating_bulk_matches_per_item_walk(
+            self, num_items, num_passes, headroom, seed, warm):
+        """The no-eviction closed form equals the lookup/admit walk exactly."""
+        spec = DatasetSpec("sat", "image_classification", num_items, 9_000.0,
+                           item_size_cv=0.5)
+        dataset = SyntheticDataset(spec, seed=seed)
+        pages = np.ceil(dataset.item_sizes(np.arange(num_items)) / 4096.0)
+        capacity = float(pages.sum()) * 4096.0 * headroom
+        scalar, bulk = PageCache(capacity), PageCache(capacity)
+        rng = np.random.default_rng(seed)
+        stream = np.concatenate([rng.permutation(num_items)
+                                 for _ in range(num_passes)]).astype(np.int64)
+        if warm:  # pre-populate both caches identically
+            for item in range(0, num_items, 2):
+                size = dataset.item_size(item)
+                for cache in (scalar, bulk):
+                    if not cache.lookup(item):
+                        cache.admit(item, size)
+            scalar.reset_stats()
+            bulk.reset_stats()
+        sizes = dataset.item_sizes(stream)
+        scalar_hits = []
+        for item, size in zip(stream.tolist(), sizes.tolist()):
+            hit = scalar.lookup(item)
+            scalar_hits.append(hit)
+            if not hit:
+                scalar.admit(item, size)
+        bulk_hits = bulk.bulk_saturating_hits(stream, sizes)
+        assert bulk_hits is not None
+        assert bulk_hits.tolist() == scalar_hits
+        assert sorted(bulk.cached_items()) == sorted(scalar.cached_items())
+        assert bulk.used_bytes == pytest.approx(scalar.used_bytes)
+        assert bulk.evictions == scalar.evictions == 0
+        for field in ("hits", "misses", "insertions", "rejected"):
+            assert getattr(bulk.stats, field) == getattr(scalar.stats, field)
+        assert bulk.stats.hit_bytes == pytest.approx(scalar.stats.hit_bytes)
+
+    def test_page_cache_saturating_bulk_declines_when_eviction_possible(self):
+        """Eviction-prone streams return None with no side effects."""
+        cache = PageCache(8 * 4096.0)
+        stream = np.arange(16, dtype=np.int64)
+        sizes = np.full(16, 4096.0)
+        assert cache.bulk_saturating_hits(stream, sizes) is None
+        assert cache.stats.accesses == 0
+        assert cache.used_bytes == 0.0
+
+    @given(num_items=st.integers(2, 200), num_servers=st.integers(1, 4),
+           fraction=st.floats(min_value=0.05, max_value=1.3),
+           skew=st.floats(min_value=0.2, max_value=1.0),
+           seed=seeds, epochs=st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_partitioned_bulk_epoch_matches_per_item_lookups(
+            self, num_items, num_servers, fraction, skew, seed, epochs):
+        """Bulk partitioned epochs equal per-item lookup+admit_local, rank by rank.
+
+        ``fraction`` sweeps miss-heavy (tiny caches) through remote-hit-heavy
+        (aggregate coverage) regimes; ``skew`` unbalances the per-server
+        budgets so mixed cache states appear.
+        """
+        num_servers = min(num_servers, num_items)
+        spec = DatasetSpec("part", "image_classification", num_items, 10_000.0,
+                           item_size_cv=0.4)
+        dataset = SyntheticDataset(spec, seed=seed)
+        budget = dataset.total_bytes * fraction / num_servers
+        capacities = [budget * (skew if s % 2 else 1.0) for s in range(num_servers)]
+        scalar = PartitionedCacheGroup(dataset, capacities, seed=seed)
+        bulk = PartitionedCacheGroup(dataset, capacities, seed=seed)
+        scalar.populate_from_shards()
+        bulk.populate_from_shards()
+        for epoch in range(epochs):
+            for rank in range(num_servers):
+                order = DistributedSampler(num_items, num_servers, rank,
+                                           seed=seed).epoch(epoch)
+                sizes = dataset.item_sizes(order)
+                sources = []
+                for item, size in zip(order.tolist(), sizes.tolist()):
+                    lookup = scalar.lookup(rank, item)
+                    sources.append(lookup.source)
+                    if lookup.source is LookupSource.STORAGE:
+                        scalar.admit_local(rank, item)
+                local, remote = bulk.bulk_epoch_lookup(rank, order, sizes)
+                assert local.tolist() == [s is LookupSource.LOCAL_CACHE
+                                          for s in sources]
+                assert remote.tolist() == [s is LookupSource.REMOTE_CACHE
+                                           for s in sources]
+                for server in range(num_servers):
+                    ref_cache, bulk_cache = scalar.caches[server], bulk.caches[server]
+                    assert sorted(bulk_cache.cached_items()) == sorted(
+                        ref_cache.cached_items())
+                    assert bulk_cache.used_bytes == pytest.approx(ref_cache.used_bytes)
+                    for field in ("hits", "misses", "insertions", "evictions",
+                                  "rejected"):
+                        assert getattr(bulk_cache.stats, field) == getattr(
+                            ref_cache.stats, field)
+                assert all(bulk.owner_of(i) == scalar.owner_of(i)
+                           for i in range(num_items))
 
     @given(num_items=st.integers(1, 300), seed=seeds,
            capacity_pages=st.integers(1, 200), epochs=st.integers(1, 3))

@@ -5,6 +5,7 @@ import pytest
 
 from repro.datasets.sampler import (
     BatchSampler,
+    CachingSampler,
     DistributedSampler,
     RandomSampler,
     SequentialSampler,
@@ -101,6 +102,37 @@ class TestBatchSampler:
     def test_rejects_bad_batch_size(self):
         with pytest.raises(ConfigurationError):
             BatchSampler(RandomSampler(10), batch_size=0)
+
+    def test_sharded_partial_batch_counted_and_emitted_consistently(self):
+        """Regression: a shard's final short batch is either in both paths or neither.
+
+        ``batches_per_epoch`` used to count from the full dataset size while
+        ``epoch`` iterated only the rank's shard, so the short batch could be
+        counted but dropped (or vice versa) depending on the ``drop_last``
+        setting and which path asked.
+        """
+        # 10 items over 2 ranks -> shard length 5; batch 3 -> one full + one short.
+        for drop_last, expected in ((False, 2), (True, 1)):
+            sampler = DistributedSampler(10, num_replicas=2, rank=0, seed=0)
+            assert sampler.epoch_length == 5
+            batcher = BatchSampler(sampler, batch_size=3, drop_last=drop_last)
+            batches = batcher.epoch(0)
+            assert len(batches) == expected
+            assert batcher.batches_per_epoch() == expected
+            if drop_last:
+                assert all(len(b) == 3 for b in batches)
+
+    def test_sharded_exact_batches_unaffected_by_drop_last(self):
+        # Shard length 5 with batch 5: no remainder, both settings agree.
+        for drop_last in (False, True):
+            sampler = DistributedSampler(10, num_replicas=2, rank=1, seed=0)
+            batcher = BatchSampler(sampler, batch_size=5, drop_last=drop_last)
+            assert len(batcher.epoch(0)) == batcher.batches_per_epoch() == 1
+
+    def test_epoch_length_of_whole_dataset_samplers(self):
+        assert RandomSampler(17, seed=0).epoch_length == 17
+        caching = CachingSampler(DistributedSampler(10, 3, 2, seed=0))
+        assert caching.epoch_length == len(caching.epoch(0))
 
 
 class TestEpochInvariantHelper:

@@ -28,6 +28,27 @@ class TestSweepPoint:
         # HP-search points do not use num_epochs
         SweepPoint(model=RESNET18, loader="hp-coordl", num_epochs=1)
 
+    def test_rejects_fields_the_point_kind_does_not_plumb(self):
+        """Inapplicable knobs error out instead of silently simulating without them."""
+        for kind in ("hp-baseline", "dist-coordl"):
+            for field in ("batch_size", "cores", "num_gpus"):
+                with pytest.raises(ConfigurationError):
+                    SweepPoint(model=RESNET18, loader=kind, **{field: 4})
+        with pytest.raises(ConfigurationError):
+            SweepPoint(model=RESNET18, loader="hp-coordl", gpu_prep=True)
+        with pytest.raises(ConfigurationError):
+            SweepPoint(model=RESNET18, loader="coordl", num_jobs=4)
+        with pytest.raises(ConfigurationError):
+            SweepPoint(model=RESNET18, loader="coordl", num_servers=3)
+        # ...while each kind keeps its own knobs.
+        SweepPoint(model=RESNET18, loader="hp-coordl", num_jobs=4, gpus_per_job=2)
+        SweepPoint(model=RESNET18, loader="dist-coordl", num_servers=3, gpu_prep=True)
+        SweepPoint(model=RESNET18, loader="coordl", batch_size=64, cores=4.0)
+
+    def test_rejects_too_few_distributed_servers(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint(model=RESNET18, loader="dist-coordl", num_servers=1)
+
     def test_grid_is_a_cross_product(self):
         points = SweepRunner.grid(models=[RESNET18, ALEXNET],
                                   loaders=["coordl", "dali-shuffle"],
