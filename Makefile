@@ -4,21 +4,33 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke docs-check check
+.PHONY: test test-workers bench bench-smoke bench-parallel docs-check check
 
 ## Tier-1 test suite (must stay green).
 test:
 	$(PYTHON) -m pytest -x -q tests
+
+## Tier-1 suite with every sweep fanned out over a 2-process worker pool
+## (results are byte-identical by contract; this leg proves it end to end).
+test-workers:
+	REPRO_SWEEP_WORKERS=2 $(PYTHON) -m pytest -x -q tests
 
 ## Reproduce the paper's tables/figures and the sweep-speed benchmarks.
 bench:
 	$(PYTHON) -m pytest -q benchmarks -s
 
 ## Quick benchmark smoke: the two vectorised-vs-reference sweep speed gates
-## (Fig. 3 and Fig. 9b) — fast enough to run on every push.
+## (Fig. 3 and Fig. 9b) — fast enough to run on every push.  The heavier
+## parallel-vs-serial gate lives in bench-parallel (and in full `make bench`).
 bench-smoke:
-	$(PYTHON) -m pytest -q -s benchmarks/test_sweep_speed.py \
+	$(PYTHON) -m pytest -q -s -k "not parallel" \
+	    benchmarks/test_sweep_speed.py \
 	    benchmarks/test_distributed_sweep_speed.py
+
+## Parallel-vs-serial sweep gate: a 16-point grid through workers=4 must be
+## byte-identical to the serial run, and >=2x faster on a >=4-core machine.
+bench-parallel:
+	$(PYTHON) -m pytest -q -s -k "parallel" benchmarks/test_sweep_speed.py
 
 ## Verify every public __all__ symbol (repro, repro.sim, repro.coordl) is
 ## documented in docs/API.md.

@@ -40,7 +40,9 @@ def _fig9b_sweep(fast_path: bool) -> Tuple[float, Dict[tuple, List[float]]]:
                               cache_fractions=(0.65,), num_servers=2,
                               num_epochs=2)
     start = time.perf_counter()
-    sweep = runner.run(points)
+    # workers=0 pins the serial executor: this benchmark isolates the
+    # vectorised-vs-reference ratio, even when REPRO_SWEEP_WORKERS is set.
+    sweep = runner.run(points, workers=0)
     elapsed = time.perf_counter() - start
     epoch_times = {
         (record.point.model.name, record.point.loader):

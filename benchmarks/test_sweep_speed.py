@@ -1,13 +1,18 @@
-"""Benchmark: vectorised Fig. 3 cache sweep vs the per-batch reference path.
+"""Benchmarks: vectorised Fig. 3 sweep vs reference, and parallel vs serial.
 
-Runs the identical sweep grid (ResNet18, DALI-shuffle + CoorDL, the six
-cache fractions of Fig. 3, two epochs each) twice through
+The first benchmark runs the identical sweep grid (ResNet18, DALI-shuffle +
+CoorDL, the six cache fractions of Fig. 3, two epochs each) twice through
 :class:`~repro.sim.sweep.SweepRunner` — once with the vectorised epoch fast
 path, once forced onto the per-batch ``fetch_batch`` loop — and asserts that
 
 * every simulated epoch time agrees within 1e-9 (the fast path is a
   numerical fast path, not an approximation), and
 * the vectorised sweep is at least 3x faster end to end.
+
+The second runs a 16-point grid serially and through the ``workers=4``
+spawn pool, asserts the two results are **byte-identical** (snapshot
+comparison — the pool is not allowed to change a single bit), and that the
+pooled run is at least 2x faster when the machine actually has 4 cores.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import time
 from typing import Dict, List, Tuple
 
 from repro.cluster.configs import config_ssd_v100
-from repro.compute.model_zoo import RESNET18
+from repro.compute.model_zoo import ALEXNET, RESNET18
 from repro.experiments.base import SWEEP_SCALE
 from repro.experiments.fig3_cache_sweep import DEFAULT_FRACTIONS
 from repro.sim.sweep import SweepRunner
@@ -30,6 +35,19 @@ MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 #: Best-of repetitions per path (damps scheduler noise in the ratio).
 REPEATS = 2
 
+#: Wall-clock advantage the ``workers=4`` pool must demonstrate over the
+#: serial run of the same grid (env-overridable like MIN_SPEEDUP; only
+#: asserted on machines with at least PARALLEL_WORKERS cores).
+MIN_PARALLEL_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_PARALLEL_SPEEDUP", "2.0"))
+
+#: Pool size of the parallel-sweep benchmark.
+PARALLEL_WORKERS = 4
+
+#: Dataset scale of the parallel benchmark grid — heavy enough per point
+#: that the sweep dominates worker spawn + per-worker dataset rebuild.
+PARALLEL_SCALE = 1.0 / 10.0
+
 
 def _fig3_sweep(fast_path: bool) -> Tuple[float, Dict[tuple, List[float]]]:
     """Run the Fig. 3 grid; return (elapsed seconds, per-point epoch times)."""
@@ -40,7 +58,9 @@ def _fig3_sweep(fast_path: bool) -> Tuple[float, Dict[tuple, List[float]]]:
                               cache_fractions=DEFAULT_FRACTIONS,
                               dataset="openimages", num_epochs=2)
     start = time.perf_counter()
-    sweep = runner.run(points)
+    # workers=0 pins the serial executor: this benchmark isolates the
+    # vectorised-vs-reference ratio, even when REPRO_SWEEP_WORKERS is set.
+    sweep = runner.run(points, workers=0)
     elapsed = time.perf_counter() - start
     epoch_times = {
         (record.point.loader, record.point.cache_fraction):
@@ -74,3 +94,43 @@ def test_vectorized_fig3_sweep_is_3x_faster_and_exact(benchmark):
           f"(max epoch-time deviation {worst:.2e})")
     assert speedup >= MIN_SPEEDUP, (
         f"vectorized sweep only {speedup:.2f}x faster (need {MIN_SPEEDUP}x)")
+
+
+def _parallel_grid():
+    """A 16-point training grid (2 models x 2 loaders x 4 cache sizes)."""
+    return SweepRunner.grid(models=[RESNET18, ALEXNET],
+                            loaders=["dali-shuffle", "coordl"],
+                            cache_fractions=(0.25, 0.5, 0.75, 1.0),
+                            dataset="openimages", num_epochs=3)
+
+
+def _timed_sweep(workers: int):
+    """Run the parallel-benchmark grid; return (elapsed s, snapshot)."""
+    runner = SweepRunner(config_ssd_v100, scale=PARALLEL_SCALE, seed=0)
+    start = time.perf_counter()
+    sweep = runner.run(_parallel_grid(), workers=workers)
+    return time.perf_counter() - start, sweep.snapshot()
+
+
+def test_parallel_sweep_is_byte_identical_and_2x_faster(benchmark):
+    serial_elapsed, serial_snapshot = _timed_sweep(workers=0)
+    parallel_snapshot = benchmark.pedantic(
+        lambda: _timed_sweep(workers=PARALLEL_WORKERS), rounds=1, iterations=1)[1]
+    parallel_elapsed = benchmark.stats.stats.min
+
+    # The exactness gate is unconditional: pooled results must be
+    # bit-for-bit the serial ones, reassembled in input order.
+    assert parallel_snapshot == serial_snapshot, (
+        "workers=4 sweep diverged from the serial bytes")
+
+    speedup = serial_elapsed / parallel_elapsed
+    cores = os.cpu_count() or 1
+    print(f"\n16-point sweep: serial {serial_elapsed:.2f} s, "
+          f"workers={PARALLEL_WORKERS} {parallel_elapsed:.2f} s -> "
+          f"{speedup:.2f}x on {cores} cores (exact)")
+    if cores < PARALLEL_WORKERS:
+        print(f"(speedup gate skipped: {cores} < {PARALLEL_WORKERS} cores)")
+        return
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"parallel sweep only {speedup:.2f}x faster "
+        f"(need {MIN_PARALLEL_SPEEDUP}x on {cores} cores)")

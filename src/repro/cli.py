@@ -44,6 +44,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment_id", help="id from list-experiments, e.g. fig9a")
     run.add_argument("--scale", type=float, default=SWEEP_SCALE,
                      help="dataset scale fraction (default 1/100)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for the experiment's sweep grid "
+                          "(default: REPRO_SWEEP_WORKERS or serial; results "
+                          "are identical for every value)")
 
     profile = sub.add_parser("profile", help="DS-Analyzer profile for a model")
     profile.add_argument("model", help="model name, e.g. resnet18")
@@ -59,6 +63,8 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
     report.add_argument("--scale", type=float, default=SWEEP_SCALE)
+    report.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the sweep-backed experiments")
     return parser
 
 
@@ -68,8 +74,15 @@ def _cmd_list_experiments() -> int:
     return 0
 
 
-def _cmd_run_experiment(experiment_id: str, scale: float) -> int:
+def _cmd_run_experiment(experiment_id: str, scale: float,
+                        workers: Optional[int]) -> int:
     kwargs = {} if experiment_id == "fig8" else {"scale": scale}
+    if workers is not None:
+        if not registry.accepts_kwarg(experiment_id, "workers"):
+            print(f"{experiment_id} has no sweep grid to parallelise; "
+                  "ignoring --workers", file=sys.stderr)
+        else:
+            kwargs["workers"] = workers
     result = registry.run_experiment(experiment_id, **kwargs)
     print(result.format_table())
     return 0
@@ -88,8 +101,8 @@ def _cmd_profile(model_name: str, dataset_name: str, server_name: str,
     return 0
 
 
-def _cmd_report(output: str, scale: float) -> int:
-    generate(output, scale)
+def _cmd_report(output: str, scale: float, workers: Optional[int]) -> int:
+    generate(output, scale, workers=workers)
     print(f"wrote {output}")
     return 0
 
@@ -100,12 +113,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list-experiments":
         return _cmd_list_experiments()
     if args.command == "run-experiment":
-        return _cmd_run_experiment(args.experiment_id, args.scale)
+        return _cmd_run_experiment(args.experiment_id, args.scale, args.workers)
     if args.command == "profile":
         return _cmd_profile(args.model, args.dataset, args.server,
                             args.cache, args.scale, args.gpu_prep)
     if args.command == "report":
-        return _cmd_report(args.output, args.scale)
+        return _cmd_report(args.output, args.scale, args.workers)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

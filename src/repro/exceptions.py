@@ -40,5 +40,27 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 
 
+class SweepPointError(ReproError):
+    """One point of a parameter sweep failed to simulate.
+
+    Raised by :meth:`repro.sim.sweep.SweepRunner.run` with the failing
+    point's label (or a synthesised description) in the message and the
+    original exception chained as ``__cause__`` — including when the point
+    ran in a worker process, where a bare ``multiprocessing`` traceback
+    would otherwise lose both.
+
+    Attributes:
+        point_label: Label/description of the failing sweep point.
+        child_traceback: Formatted traceback from the worker process, when
+            the point failed in one (``None`` for in-process failures, whose
+            traceback is the chained exception's own).
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.point_label: str = ""
+        self.child_traceback: str | None = None
+
+
 class ProfilingError(ReproError):
     """DS-Analyzer could not complete a measurement phase."""

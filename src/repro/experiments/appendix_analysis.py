@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.cluster.configs import config_high_cpu_v100, config_ssd_v100
 from repro.compute.model_zoo import IMAGE_MODELS, MOBILENET_V2, RESNET18, ModelSpec
@@ -64,7 +64,8 @@ def run_fig12(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
 
 
 def run_fig13(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
-              models: Sequence[ModelSpec] = IMAGE_MODELS, seed: int = 0) -> ExperimentResult:
+              models: Sequence[ModelSpec] = IMAGE_MODELS, seed: int = 0,
+              workers: Optional[int] = None) -> ExperimentResult:
     """Fig. 13 — native PyTorch DL vs DALI-CPU vs DALI-GPU epoch times (cached)."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     # GPU prep interferes with the model's own compute, so DALI appears both
@@ -75,7 +76,7 @@ def run_fig13(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
         for model in models
         for loader, gpu_prep in (("pytorch", None), ("dali-shuffle", False),
                                  ("dali-shuffle", True))
-    ])
+    ], workers=workers)
     result = ExperimentResult(
         experiment_id="fig13",
         title="Fig. 13 — epoch time: PyTorch DL vs DALI (CPU prep) vs DALI (GPU prep)",

@@ -10,7 +10,7 @@ speed at each point so the two curves can be compared.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import ALEXNET, ModelSpec
@@ -26,7 +26,7 @@ DEFAULT_FRACTIONS = (0.0, 0.2, 0.4, 0.55, 0.7, 0.85, 1.0)
 def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
         dataset_name: str = "imagenet-1k",
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
-        seed: int = 0) -> ExperimentResult:
+        seed: int = 0, workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce the cache-size what-if sweep of Fig. 16."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     dataset = runner.dataset(dataset_name)
@@ -37,7 +37,7 @@ def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
     # The empirical curve is a plain cache-fraction sweep of the simulator.
     sweep = runner.run(SweepRunner.grid(
         models=[model], loaders=["coordl"], cache_fractions=fractions,
-        dataset=dataset_name, gpu_prep=False))
+        dataset=dataset_name, gpu_prep=False), workers=workers)
 
     result = ExperimentResult(
         experiment_id="fig16",

@@ -11,6 +11,8 @@ stall.  The four bars — {1080Ti, V100} x {CPU-only prep, CPU+GPU prep} with
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
 from repro.compute.model_zoo import RESNET18
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE
@@ -18,7 +20,8 @@ from repro.sim.sweep import SweepPoint, SweepRunner
 
 
 def run(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
-        cores_per_gpu: int = 3, seed: int = 0) -> ExperimentResult:
+        cores_per_gpu: int = 3, seed: int = 0,
+        workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce the prep-stall comparison of DALI CPU vs GPU prep."""
     result = ExperimentResult(
         experiment_id="fig5",
@@ -35,7 +38,7 @@ def run(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
             SweepPoint(model=RESNET18, loader="dali-shuffle", dataset=dataset_name,
                        cache_fraction=1.2, cores=cores, gpu_prep=gpu_prep)
             for gpu_prep in (False, True)
-        ])
+        ], workers=workers)
         for gpu_prep in (False, True):
             epoch = sweep.one(gpu_prep=gpu_prep).steady
             result.add_row(

@@ -17,7 +17,8 @@ from repro.sim.sweep import SweepRunner
 
 
 def run(scale: float = SWEEP_SCALE, models: Optional[Sequence[ModelSpec]] = None,
-        cores_per_gpu: int = 3, seed: int = 0) -> ExperimentResult:
+        cores_per_gpu: int = 3, seed: int = 0,
+        workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce the per-model prep-stall percentages of Fig. 6."""
     chosen = list(models) if models is not None else list(ALL_STALL_MODELS)
     server = config_ssd_v100()
@@ -25,7 +26,7 @@ def run(scale: float = SWEEP_SCALE, models: Optional[Sequence[ModelSpec]] = None
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     sweep = runner.run(SweepRunner.grid(
         models=chosen, loaders=["dali-shuffle"], cache_fractions=[1.2],
-        cores=[cores]))
+        cores=[cores]), workers=workers)
     result = ExperimentResult(
         experiment_id="fig6",
         title="Fig. 6 — prep stall as % of epoch time (8 GPUs, 3 cores/GPU, cached)",

@@ -21,14 +21,16 @@ from repro.units import speedup
 
 def run(scale: float = SWEEP_SCALE, cache_fraction: float = 0.65,
         models: Optional[Sequence[ModelSpec]] = None, server_name: str = "ssd-v100",
-        num_epochs: int = 2, seed: int = 0) -> ExperimentResult:
+        num_epochs: int = 2, seed: int = 0,
+        workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce the single-server speedup bars of Fig. 9(a)."""
     chosen = list(models) if models is not None else list(ALL_STALL_MODELS)
     factory = config_ssd_v100 if server_name == "ssd-v100" else config_hdd_1080ti
     runner = SweepRunner(factory, scale=scale, seed=seed)
     sweep = runner.run(SweepRunner.grid(
         models=chosen, loaders=["dali-seq", "dali-shuffle", "coordl"],
-        cache_fractions=[cache_fraction], num_epochs=num_epochs))
+        cache_fractions=[cache_fraction], num_epochs=num_epochs),
+        workers=workers)
     result = ExperimentResult(
         experiment_id="fig9a",
         title=f"Fig. 9(a) — single-server training speedup vs DALI ({factory().name}, "

@@ -22,14 +22,15 @@ from repro.units import speedup
 
 def run(scale: float = SWEEP_SCALE, num_jobs: int = 8, cache_fraction: float = 0.65,
         server_name: str = "ssd-v100", models: Optional[Sequence[ModelSpec]] = None,
-        seed: int = 0) -> ExperimentResult:
+        seed: int = 0, workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce the per-model HP-search speedups of Fig. 9(d)."""
     chosen = list(models) if models is not None else list(ALL_STALL_MODELS)
     factory = config_ssd_v100 if server_name == "ssd-v100" else config_hdd_1080ti
     runner = SweepRunner(factory, scale=scale, seed=seed)
     sweep = runner.run(SweepRunner.grid(
         models=chosen, loaders=["hp-baseline", "hp-coordl"],
-        cache_fractions=[cache_fraction], num_jobs=num_jobs, gpus_per_job=1))
+        cache_fractions=[cache_fraction], num_jobs=num_jobs, gpus_per_job=1),
+        workers=workers)
     result = ExperimentResult(
         experiment_id="fig9d",
         title=f"Fig. 9(d) — {num_jobs}-job HP search: CoorDL vs DALI ({factory().name})",

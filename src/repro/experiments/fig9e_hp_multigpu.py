@@ -12,7 +12,7 @@ the single-job shape, which has nothing to coordinate.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import ALEXNET, ModelSpec
@@ -26,7 +26,7 @@ DEFAULT_CONFIGS: Tuple[Tuple[int, int], ...] = ((8, 1), (4, 2), (2, 4), (1, 8))
 def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
         dataset_name: str = "openimages", cache_fraction: float = 0.65,
         job_configs: Sequence[Tuple[int, int]] = DEFAULT_CONFIGS,
-        seed: int = 0) -> ExperimentResult:
+        seed: int = 0, workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce the job-shape sweep of Fig. 9(e)."""
     points: List[SweepPoint] = []
     for num_jobs, gpus_per_job in job_configs:
@@ -44,7 +44,7 @@ def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
                            num_jobs=num_jobs, gpus_per_job=gpus_per_job)
                 for kind in ("hp-baseline", "hp-coordl"))
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
-    sweep = runner.run(points)
+    sweep = runner.run(points, workers=workers)
     result = ExperimentResult(
         experiment_id="fig9e",
         title="Fig. 9(e) — HP search with multi-GPU jobs (AlexNet/OpenImages, "

@@ -11,6 +11,7 @@ hand::
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.exceptions import ConfigurationError
@@ -82,6 +83,18 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         known = ", ".join(experiment_ids())
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known: {known}") from None
+
+
+def accepts_kwarg(experiment_id: str, name: str) -> bool:
+    """Whether an experiment's ``run`` callable takes the given keyword.
+
+    Used by the CLI and the report generator to thread optional knobs
+    (``workers=`` for the sweep-backed experiments) without forcing every
+    experiment to grow them: toy experiments like ``fig8`` take neither
+    ``scale`` nor ``workers``.
+    """
+    parameters = inspect.signature(get_experiment(experiment_id)).parameters
+    return name in parameters
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:

@@ -108,8 +108,14 @@ KNOWN_DEVIATIONS: Dict[str, str] = {
 }
 
 
-def generate(output_path: str = "EXPERIMENTS.md", scale: float = SWEEP_SCALE) -> str:
-    """Run every experiment and write the markdown report; returns the text."""
+def generate(output_path: str = "EXPERIMENTS.md", scale: float = SWEEP_SCALE,
+             workers: "int | None" = None) -> str:
+    """Run every experiment and write the markdown report; returns the text.
+
+    ``workers`` fans each sweep-backed experiment's grid out over that many
+    processes (byte-identical results; experiments without a sweep grid
+    ignore it).
+    """
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -126,6 +132,8 @@ def generate(output_path: str = "EXPERIMENTS.md", scale: float = SWEEP_SCALE) ->
     for experiment_id in registry.experiment_ids():
         start = time.time()
         kwargs = {} if experiment_id == "fig8" else {"scale": scale}
+        if workers is not None and registry.accepts_kwarg(experiment_id, "workers"):
+            kwargs["workers"] = workers
         result = registry.run_experiment(experiment_id, **kwargs)
         elapsed = time.time() - start
         lines.append(f"## {result.title}")

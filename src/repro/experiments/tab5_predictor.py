@@ -12,7 +12,7 @@ is meaningful.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import ALEXNET, ModelSpec
@@ -27,7 +27,7 @@ DEFAULT_FRACTIONS = (0.25, 0.35, 0.5)
 def run(scale: float = DEFAULT_SCALE, model: ModelSpec = ALEXNET,
         dataset_name: str = "imagenet-1k",
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
-        seed: int = 0) -> ExperimentResult:
+        seed: int = 0, workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce the predicted-vs-empirical comparison of Table 5."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     dataset = runner.dataset(dataset_name)
@@ -35,7 +35,7 @@ def run(scale: float = DEFAULT_SCALE, model: ModelSpec = ALEXNET,
     predictor = DataStallPredictor(profiler.profile())
     sweep = runner.run(SweepRunner.grid(
         models=[model], loaders=["coordl"], cache_fractions=fractions,
-        dataset=dataset_name, gpu_prep=False))
+        dataset=dataset_name, gpu_prep=False), workers=workers)
 
     result = ExperimentResult(
         experiment_id="tab5",

@@ -10,6 +10,8 @@ to the full dataset size).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import SHUFFLENET_V2, ModelSpec
 from repro.experiments.base import DEFAULT_SCALE, ExperimentResult
@@ -18,12 +20,13 @@ from repro.sim.sweep import SweepRunner
 
 def run(scale: float = DEFAULT_SCALE, model: ModelSpec = SHUFFLENET_V2,
         dataset_name: str = "openimages", cache_fraction: float = 0.65,
-        seed: int = 0) -> ExperimentResult:
+        seed: int = 0, workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce the miss-rate / disk-I/O comparison of Table 6."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     sweep = runner.run(SweepRunner.grid(
         models=[model], loaders=["dali-seq", "dali-shuffle", "coordl"],
-        cache_fractions=[cache_fraction], dataset=dataset_name))
+        cache_fractions=[cache_fraction], dataset=dataset_name),
+        workers=workers)
     result = ExperimentResult(
         experiment_id="tab6",
         title=f"Table 6 — cache miss %% and disk I/O ({model.name}/{dataset_name}, "

@@ -22,21 +22,39 @@ scenario sweeps (``loader`` in :data:`HP_SEARCH_KINDS`, which run
 :class:`~repro.sim.hp_search.HPSearchScenario` per point), and multi-server
 distributed sweeps (``loader`` in :data:`DISTRIBUTED_KINDS`, which run
 :class:`~repro.sim.distributed.DistributedTraining` per point).
+
+Because every point is an independent simulation, :meth:`SweepRunner.run`
+can fan a grid out over a spawn-safe ``multiprocessing`` worker pool
+(``workers=N``).  Each worker rebuilds its substrates from the pickled
+runner configuration and point spec alone; every point's sampling derives
+from :meth:`SweepRunner.point_seed` — a stable hash derived from the point
+spec that depends neither on scheduling order nor on worker count — and
+results are reassembled in input order, so the parallel
+:class:`SweepResult` is byte-identical to the serial one (asserted by the
+golden and property tests in ``tests/test_golden_sweeps.py`` /
+``tests/test_sweep_parallel.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import math
+import multiprocessing
+import os
+import pickle
+import traceback
 from dataclasses import dataclass, fields
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cluster.server import ServerConfig
 from repro.compute.model_zoo import ModelSpec
 from repro.datasets.catalog import get_dataset_spec
 from repro.datasets.dataset import SyntheticDataset
 from repro.datasets.sampler import CachingSampler, RandomSampler, Sampler
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SimulationError, SweepPointError
 from repro.pipeline.stats import EpochStats, TrainingRunStats
+from repro.storage.iostats import IOStats
 from repro.sim.distributed import DistributedEpoch, DistributedResult, DistributedTraining
 from repro.sim.engine import PipelineSimulator
 from repro.sim.hp_search import HPSearchResult, HPSearchScenario
@@ -49,6 +67,12 @@ HP_SEARCH_KINDS = ("hp-baseline", "hp-coordl")
 #: Sweep-point kinds simulated through :class:`DistributedTraining`
 #: (``cache_fraction`` / ``cache_bytes`` are per-server budgets there).
 DISTRIBUTED_KINDS = ("dist-baseline", "dist-coordl")
+
+#: Environment variable supplying the default worker count of
+#: :meth:`SweepRunner.run` when the caller does not pass ``workers=``
+#: explicitly (the CI ``workers=2`` leg sets it to run the whole tier-1
+#: suite through the pool).
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -144,6 +168,68 @@ class SweepPoint:
         """Whether this point runs through the distributed scenario."""
         return self.loader in DISTRIBUTED_KINDS
 
+    def describe(self) -> str:
+        """The point's label, or a synthesised short description.
+
+        Used in error messages (:class:`~repro.exceptions.SweepPointError`)
+        so a failing point can be located in its grid.
+        """
+        if self.label:
+            return self.label
+        parts = [self.model.name, self.loader]
+        if self.dataset is not None:
+            parts.append(self.dataset)
+        if self.cache_fraction is not None:
+            parts.append(f"cache={self.cache_fraction:g}")
+        if self.cache_bytes is not None:
+            parts.append(f"cache_bytes={self.cache_bytes:g}")
+        if self.cores is not None:
+            parts.append(f"cores={self.cores:g}")
+        if self.batch_size is not None:
+            parts.append(f"batch={self.batch_size}")
+        return "/".join(parts)
+
+
+def _hex(value: float) -> str:
+    """Lossless, byte-exact float representation for snapshots."""
+    return float(value).hex()
+
+
+def _io_snapshot(io: IOStats) -> Dict[str, Any]:
+    """Canonical byte-exact form of one epoch's I/O counters.
+
+    The (possibly long) per-read disk timeline is folded into a digest: two
+    timelines agree on the digest iff they agree sample-for-sample on the
+    exact float bits, which keeps golden files small without weakening the
+    byte-identical guarantee.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for t, b in io.timeline:
+        digest.update(f"{_hex(t)}:{_hex(b)};".encode("ascii"))
+    return {
+        "disk_bytes": _hex(io.disk_bytes),
+        "disk_requests": io.disk_requests,
+        "cache_bytes": _hex(io.cache_bytes),
+        "cache_requests": io.cache_requests,
+        "remote_bytes": _hex(io.remote_bytes),
+        "remote_requests": io.remote_requests,
+        "timeline_len": len(io.timeline),
+        "timeline_digest": digest.hexdigest(),
+    }
+
+
+def _epoch_snapshot(stats: EpochStats) -> Dict[str, Any]:
+    """Canonical byte-exact form of one :class:`EpochStats`."""
+    return {
+        "epoch_time_s": _hex(stats.epoch_time_s),
+        "gpu_time_s": _hex(stats.gpu_time_s),
+        "prep_limited_time_s": _hex(stats.prep_limited_time_s),
+        "samples": stats.samples,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "io": _io_snapshot(stats.io),
+    }
+
 
 @dataclass
 class SweepRecord:
@@ -217,6 +303,47 @@ class SweepRecord:
             )
         return values
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Canonical, byte-exact, JSON-serialisable form of this record.
+
+        Floats are rendered with :meth:`float.hex` (lossless), so two
+        snapshots compare equal **iff** the underlying results are
+        bit-identical.  This is what the golden regression tests and the
+        serial-vs-parallel determinism tests diff.
+        """
+        point = {
+            f.name: (self.point.model.name if f.name == "model"
+                     else getattr(self.point, f.name))
+            for f in fields(SweepPoint)
+        }
+        data: Dict[str, Any] = {
+            "point": point,
+            "dataset": self.dataset_name,
+            "loader_name": self.loader_name,
+        }
+        if self.run is not None:
+            data["epochs"] = [_epoch_snapshot(e) for e in self.run.epochs]
+        if self.hp is not None:
+            data["hp"] = {
+                "loader_name": self.hp.loader_name,
+                "num_jobs": self.hp.num_jobs,
+                "gpus_per_job": self.hp.gpus_per_job,
+                "epoch_time_s": _hex(self.hp.epoch_time_s),
+                "per_job_throughput": _hex(self.hp.per_job_throughput),
+                "disk_bytes_per_epoch": _hex(self.hp.disk_bytes_per_epoch),
+                "cache_miss_ratio": _hex(self.hp.cache_miss_ratio),
+                "prep_bound": self.hp.prep_bound,
+                "fetch_bound": self.hp.fetch_bound,
+                "gpu_bound": self.hp.gpu_bound,
+                "staging_peak_bytes": _hex(self.hp.staging_peak_bytes),
+            }
+        if self.dist is not None:
+            data["dist"] = [
+                [_epoch_snapshot(server) for server in epoch.per_server]
+                for epoch in self.dist.epochs
+            ]
+        return data
+
 
 class SweepResult:
     """Tidy collection of sweep records with config-based selection."""
@@ -257,6 +384,15 @@ class SweepResult:
         """One tidy dict per record (config columns + key metrics)."""
         return [record.row() for record in self._records]
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Byte-exact canonical form of the whole sweep, in sweep order.
+
+        See :meth:`SweepRecord.snapshot`; equal snapshots mean bit-identical
+        results, which is the contract the parallel executor is tested
+        against (serial ≡ ``workers=N`` for every N).
+        """
+        return {"records": [record.snapshot() for record in self._records]}
+
 
 class SweepRunner:
     """Run a grid of simulation configurations with shared substrates.
@@ -264,10 +400,14 @@ class SweepRunner:
     Args:
         server_factory: Callable building the server model, accepting a
             ``cache_bytes`` keyword (e.g.
-            :func:`repro.cluster.configs.config_ssd_v100`).
+            :func:`repro.cluster.configs.config_ssd_v100`).  Must be
+            picklable (a module-level function) for ``workers > 0``.
         scale: Dataset scale applied to every point (experiments pass their
             usual ``SWEEP_SCALE``/``DEFAULT_SCALE``).
-        seed: Seed for dataset materialisation and samplers.
+        seed: Root seed.  Dataset materialisation uses it directly (every
+            point of a sweep must see the *same* dataset bytes, or cache
+            fractions would not be comparable); sampling/scenario seeds are
+            derived from it per point via :meth:`point_seed`.
         queue_depth: Prefetch queue depth of the simulated pipeline.
         fast_path: Allow the vectorised epoch collection (disable to force
             the per-batch reference path, e.g. for benchmarking it).
@@ -282,7 +422,7 @@ class SweepRunner:
         self._queue_depth = queue_depth
         self._fast_path = fast_path
         self._datasets: Dict[str, SyntheticDataset] = {}
-        self._samplers: Dict[int, Sampler] = {}
+        self._samplers: Dict[Tuple[int, int], Sampler] = {}
 
     @staticmethod
     def grid(models: Sequence[ModelSpec], loaders: Sequence[str],
@@ -313,12 +453,43 @@ class SweepRunner:
             self._datasets[name] = cached
         return cached
 
-    def _shared_sampler(self, dataset: SyntheticDataset) -> Sampler:
-        """One memoised random sampler per dataset size (all points share)."""
-        sampler = self._samplers.get(len(dataset))
+    def point_seed(self, point: SweepPoint) -> int:
+        """Stable sampling seed for one point, derived from the point spec.
+
+        A BLAKE2 hash of the runner seed and the point's *resolved dataset*
+        — the only field that defines which stochastic item stream the
+        point samples.  Two properties matter:
+
+        * the derivation is a pure function of the point spec, independent
+          of the point's grid position, of which process simulates it and
+          of the worker count — which is what lets a spawned worker rebuild
+          the exact sampling a serial run would use, byte for byte;
+        * configuration knobs (``loader``, cache budget, cores, ...) and
+          ``label`` deliberately do **not** participate, so every point of
+          a sweep that walks the same dataset sees the *same* per-epoch
+          permutations: the paired comparisons the experiments report
+          (DALI vs CoorDL at one cache size, baseline vs coordinated) stay
+          free of unpaired sampling noise, exactly as in a serial sweep
+          sharing one memoised sampler.
+        """
+        key = (self._seed, point.dataset or point.model.default_dataset)
+        digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big")
+
+    def _shared_sampler(self, dataset: SyntheticDataset,
+                        seed: Optional[int] = None) -> Sampler:
+        """One memoised random sampler per (dataset size, seed) pair.
+
+        Points of a grid that hash to the same :meth:`point_seed` (and any
+        caller using the runner-seed default) share the memoised per-epoch
+        permutations instead of redrawing them.
+        """
+        if seed is None:
+            seed = self._seed
+        sampler = self._samplers.get((len(dataset), seed))
         if sampler is None:
-            sampler = CachingSampler(RandomSampler(len(dataset), seed=self._seed))
-            self._samplers[len(dataset)] = sampler
+            sampler = CachingSampler(RandomSampler(len(dataset), seed=seed))
+            self._samplers[(len(dataset), seed)] = sampler
         return sampler
 
     def _resolve(self, point: SweepPoint) -> tuple:
@@ -334,10 +505,91 @@ class SweepRunner:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, points: Iterable[SweepPoint]) -> SweepResult:
-        """Simulate every point and return the tidy result table."""
-        records = [self._run_point(point) for point in points]
-        return SweepResult(records)
+    def run(self, points: Iterable[SweepPoint], workers: Optional[int] = None,
+            chunksize: Optional[int] = None) -> SweepResult:
+        """Simulate every point and return the tidy result table.
+
+        Args:
+            points: Sweep points to simulate; the result keeps their order.
+            workers: Worker processes to fan the grid out over.  ``0`` (and
+                single-point grids) simulate in-process; ``None`` reads the
+                :data:`WORKERS_ENV_VAR` environment variable, defaulting to
+                ``0``.  Results are byte-identical for every value.
+            chunksize: Points pickled to a worker per task (default: grid
+                split into about four chunks per worker).
+
+        Raises:
+            SweepPointError: A point failed to simulate.  The failing
+                point's label/description is in the message and the
+                original exception — re-raised from a worker when the point
+                ran in one — is chained as ``__cause__``.
+        """
+        points = list(points)
+        workers = self._resolve_workers(workers)
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be at least 1")
+        if workers == 0 or len(points) <= 1:
+            return SweepResult([self._run_point_guarded(p) for p in points])
+        return SweepResult(self._run_parallel(points, workers, chunksize))
+
+    def _resolve_workers(self, workers: Optional[int]) -> int:
+        if workers is None:
+            raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+            try:
+                workers = int(raw) if raw else 0
+            except ValueError:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV_VAR}={raw!r} is not an integer") from None
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        return workers
+
+    def _run_point_guarded(self, point: SweepPoint) -> SweepRecord:
+        """Run one point, attaching its label to any failure."""
+        try:
+            return self._run_point(point)
+        except SweepPointError:
+            raise
+        except Exception as exc:
+            raise _point_error(point, exc) from exc
+
+    def _run_parallel(self, points: List[SweepPoint], workers: int,
+                      chunksize: Optional[int]) -> List[SweepRecord]:
+        """Fan the points out over a spawn pool; reassemble in input order.
+
+        ``spawn`` (never ``fork``) is used on every platform: workers start
+        from a clean interpreter and rebuild datasets/samplers from the
+        pickled runner configuration, so no shared mutable substrate state
+        can leak across processes and the execution model is identical on
+        Linux/macOS/Windows.
+        """
+        workers = min(workers, len(points))
+        if chunksize is None:
+            chunksize = max(1, math.ceil(len(points) / (workers * 4)))
+        spec = (self._server_factory, self._scale, self._seed,
+                self._queue_depth, self._fast_path)
+        context = multiprocessing.get_context("spawn")
+        records: List[Optional[SweepRecord]] = [None] * len(points)
+        failures: Dict[int, tuple] = {}
+        with context.Pool(workers, initializer=_init_sweep_worker,
+                          initargs=(spec,)) as pool:
+            results = pool.imap_unordered(_run_sweep_point_task,
+                                          list(enumerate(points)), chunksize)
+            # Drain everything before raising: imap_unordered yields in
+            # completion order, so raising on the first failure seen would
+            # name a scheduling-dependent point.  Raising for the lowest
+            # failing input index reports exactly the point a serial run
+            # would have raised for.
+            for index, record, failure in results:
+                if failure is not None:
+                    failures[index] = failure
+                else:
+                    records[index] = record
+        if failures:
+            index = min(failures)
+            exc, child_traceback = failures[index]
+            raise _point_error(points[index], exc, child_traceback) from exc
+        return records  # type: ignore[return-value]  # every slot filled above
 
     def _run_point(self, point: SweepPoint) -> SweepRecord:
         if point.is_hp_search:
@@ -345,13 +597,15 @@ class SweepRunner:
         if point.is_distributed:
             return self._run_distributed_point(point)
         dataset, server = self._resolve(point)
+        seed = self.point_seed(point)
         # dali-seq builds its own shuffle-buffer sampler (the storage-visible
         # order is what matters there); every other kind shares the memoised
-        # random permutations.
-        sampler = None if point.loader == "dali-seq" else self._shared_sampler(dataset)
+        # random permutations of its per-point seed.
+        sampler = (None if point.loader == "dali-seq"
+                   else self._shared_sampler(dataset, seed))
         loader = build_loader(point.loader, dataset, server, point.model,
                               num_gpus=point.num_gpus, cores=point.cores,
-                              gpu_prep=point.gpu_prep, seed=self._seed,
+                              gpu_prep=point.gpu_prep, seed=seed,
                               batch_size=point.batch_size, sampler=sampler)
         simulator = PipelineSimulator(point.model, server.gpu,
                                       queue_depth=self._queue_depth,
@@ -367,7 +621,7 @@ class SweepRunner:
         scenario = HPSearchScenario(point.model, dataset, server,
                                     num_jobs=point.num_jobs,
                                     gpus_per_job=point.gpus_per_job,
-                                    seed=self._seed,
+                                    seed=self.point_seed(point),
                                     fast_path=self._fast_path)
         if point.loader == "hp-baseline":
             hp = scenario.run_baseline()
@@ -385,14 +639,70 @@ class SweepRunner:
                                        queue_depth=self._queue_depth,
                                        fast_path=self._fast_path)
         # Per-rank DistributedSampler shards (and the shard assignment of the
-        # partitioned cache group) must derive from the runner's shared seed
+        # partitioned cache group) must derive from the point's stable seed
         # so repeated sweeps are reproducible and ranks agree on each epoch's
         # permutation (drawing disjoint slices of it, never identical ones).
+        seed = self.point_seed(point)
         if point.loader == "dist-baseline":
             dist = training.run_baseline(gpu_prep=bool(point.gpu_prep),
-                                         seed=self._seed)
+                                         seed=seed)
         else:
             dist = training.run_coordl(gpu_prep=bool(point.gpu_prep),
-                                       seed=self._seed)
+                                       seed=seed)
         return SweepRecord(point=point, dataset_name=dataset.spec.name,
                            loader_name=dist.loader_name, dist=dist)
+
+
+def _point_error(point: SweepPoint, original: BaseException,
+                 child_traceback: Optional[str] = None) -> SweepPointError:
+    """Build the labelled sweep failure raised to the caller."""
+    where = "in worker process" if child_traceback else "in process"
+    error = SweepPointError(
+        f"sweep point [{point.describe()}] failed {where}: "
+        f"{type(original).__name__}: {original}")
+    error.point_label = point.describe()
+    error.child_traceback = child_traceback
+    return error
+
+
+# -- worker-pool plumbing ----------------------------------------------------
+#
+# Spawned workers import this module fresh and keep one SweepRunner per
+# process (built by the pool initializer from the pickled runner
+# configuration), so datasets/samplers are materialised once per worker and
+# memoised across the points it simulates — exactly the sharing the serial
+# path does, with no cross-process state.
+
+_WORKER_RUNNER: Optional[SweepRunner] = None
+
+
+def _init_sweep_worker(spec: tuple) -> None:
+    """Pool initializer: rebuild the runner from its pickled configuration."""
+    global _WORKER_RUNNER
+    server_factory, scale, seed, queue_depth, fast_path = spec
+    _WORKER_RUNNER = SweepRunner(server_factory, scale=scale, seed=seed,
+                                 queue_depth=queue_depth, fast_path=fast_path)
+
+
+def _run_sweep_point_task(task: Tuple[int, SweepPoint]):
+    """Simulate one indexed point in a worker; never raise across the pipe.
+
+    Failures travel back as ``(index, None, (exception, traceback_text))``
+    so the parent can re-raise the *original* exception chained under a
+    labelled :class:`SweepPointError` instead of a bare multiprocessing
+    traceback.  Exceptions that cannot survive pickling are substituted
+    with a :class:`SimulationError` carrying their repr.
+    """
+    index, point = task
+    if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
+        raise SimulationError("sweep worker used before initialisation")
+    try:
+        return index, _WORKER_RUNNER._run_point(point), None
+    except Exception as exc:
+        text = traceback.format_exc()
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = SimulationError(
+                f"worker exception could not be pickled: {exc!r}")
+        return index, None, (exc, text)

@@ -1,0 +1,66 @@
+"""Golden regression tests for the sweep executor.
+
+Each committed file under ``tests/golden/`` is the byte-exact snapshot
+(:meth:`~repro.sim.sweep.SweepResult.snapshot`, ``float.hex`` floats) of a
+small reference grid — Fig. 3 (single-server training points), Fig. 9(b)
+(distributed points) and Tab. 7 (HP-search points).  The tests assert that
+:class:`~repro.sim.sweep.SweepRunner` reproduces every one of them
+bit-for-bit serially (``workers=0``) and through the spawn worker pool
+(``workers=1`` and ``workers=4``): parallel execution must not change a
+single float bit, I/O counter or cache statistic.
+
+Regenerate the files with ``python tools/make_golden.py`` only when a
+deliberate simulation change moves the numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.sim.harness import (
+    GOLDEN_GRIDS,
+    golden_path,
+    load_golden,
+    run_golden_grid,
+    snapshot_diff,
+    snapshot_to_json,
+)
+
+#: The committed snapshots live next to this test module.
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+GRID_NAMES = sorted(GOLDEN_GRIDS)
+
+
+@pytest.mark.parametrize("name", GRID_NAMES)
+def test_golden_file_exists_and_parses(name):
+    assert golden_path(name, GOLDEN_DIR).exists(), (
+        f"missing committed snapshot for {name}; run tools/make_golden.py")
+    expected = load_golden(name, GOLDEN_DIR)
+    assert len(expected["records"]) == len(GOLDEN_GRIDS[name].points())
+
+
+@pytest.mark.parametrize("workers", [0, 1, 4])
+@pytest.mark.parametrize("name", GRID_NAMES)
+def test_sweep_reproduces_golden_snapshot(name, workers):
+    """Serial and pooled runs reproduce the committed bytes exactly."""
+    expected = load_golden(name, GOLDEN_DIR)
+    actual = run_golden_grid(name, workers=workers)
+    diffs = snapshot_diff(expected, actual)
+    assert not diffs, (
+        f"{name} at workers={workers} diverged from the committed snapshot "
+        f"(first differences: {diffs}); if the simulation legitimately "
+        "changed, regenerate with tools/make_golden.py")
+
+
+@pytest.mark.parametrize("name", GRID_NAMES)
+def test_golden_file_is_in_canonical_form(name):
+    """Committed files carry the canonical serialisation, not a stale dump.
+
+    Guards against hand-edits and against the serialisation drifting away
+    from what ``tools/make_golden.py`` writes.
+    """
+    text = golden_path(name, GOLDEN_DIR).read_text(encoding="utf-8")
+    assert text == snapshot_to_json(load_golden(name, GOLDEN_DIR))

@@ -1,0 +1,274 @@
+"""Tests for the process-parallel sweep executor.
+
+Covers the worker pool's determinism contract (serial ≡ ``workers=N`` at
+the byte level, for any N, chunking and input ordering — hypothesis
+property tests), the fast-path fallback inside worker processes, worker
+error propagation, and the ``workers=`` knob plumbing (argument, env-var
+default, validation).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configs import config_ssd_v100
+from repro.compute.model_zoo import ALEXNET, RESNET18
+from repro.exceptions import ConfigurationError, SweepPointError
+from repro.sim.sweep import WORKERS_ENV_VAR, SweepPoint, SweepRunner
+
+SCALE = 1 / 500.0
+
+
+def _mixed_grid():
+    """A small grid exercising all three point kinds."""
+    points = SweepRunner.grid(models=[RESNET18],
+                              loaders=["coordl", "dali-shuffle"],
+                              cache_fractions=(0.35, 0.8),
+                              dataset="openimages")
+    points += SweepRunner.grid(models=[ALEXNET], loaders=["hp-coordl"],
+                               cache_fractions=(0.65,), num_jobs=4)
+    points += SweepRunner.grid(models=[RESNET18], loaders=["dist-coordl"],
+                               cache_fractions=(0.6,), dataset="openimages",
+                               num_servers=2, num_epochs=2)
+    return points
+
+
+def _snapshot(points, workers, **runner_kwargs):
+    runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0, **runner_kwargs)
+    return runner.run(points, workers=workers).snapshot()
+
+
+class TestParallelExecution:
+    def test_pool_matches_serial_bytes(self):
+        """workers=2 reproduces the serial bytes on all three point kinds."""
+        points = _mixed_grid()
+        assert _snapshot(points, workers=2) == _snapshot(points, workers=0)
+
+    def test_explicit_chunksize_does_not_change_results(self):
+        points = _mixed_grid()
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        chunked = runner.run(points, workers=2, chunksize=1).snapshot()
+        assert chunked == _snapshot(points, workers=0)
+
+    def test_single_point_grid_never_spawns_a_pool(self, monkeypatch):
+        """One-point grids run in-process even when workers are requested."""
+        def boom(method):  # pragma: no cover - would mean a pool was built
+            raise AssertionError("pool spawned for a single-point grid")
+
+        import repro.sim.sweep as sweep_module
+        monkeypatch.setattr(sweep_module.multiprocessing, "get_context", boom)
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        (record,) = runner.run([SweepPoint(model=RESNET18, loader="coordl",
+                                           dataset="openimages",
+                                           cache_fraction=0.5)],
+                               workers=4).records
+        assert record.steady.epoch_time_s > 0
+
+    def test_env_var_supplies_the_default_worker_count(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        points = _mixed_grid()[:3]
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        pooled = runner.run(points).snapshot()  # workers=None -> env
+        assert pooled == _snapshot(points, workers=0)
+
+    def test_explicit_workers_beats_the_env_var(self, monkeypatch):
+        """workers=0 forces serial execution even when the env var is set."""
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+
+        def boom(method):  # pragma: no cover
+            raise AssertionError("pool spawned despite workers=0")
+
+        import repro.sim.sweep as sweep_module
+        monkeypatch.setattr(sweep_module.multiprocessing, "get_context", boom)
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        assert len(runner.run(_mixed_grid()[:2], workers=0)) == 2
+
+    def test_rejects_bad_worker_and_chunk_settings(self, monkeypatch):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        point = SweepPoint(model=RESNET18, loader="coordl",
+                           dataset="openimages", cache_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            runner.run([point], workers=-1)
+        with pytest.raises(ConfigurationError):
+            runner.run([point, point], workers=2, chunksize=0)
+        monkeypatch.setenv(WORKERS_ENV_VAR, "two")
+        with pytest.raises(ConfigurationError):
+            runner.run([point])
+
+    def test_point_seed_pairs_same_dataset_points(self):
+        """Seeds derive from (runner seed, dataset) only: points walking the
+        same dataset share permutations (paired loader comparisons), labels
+        and configuration knobs never perturb the sampling."""
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        a = SweepPoint(model=RESNET18, loader="coordl", cache_fraction=0.5)
+        b = SweepPoint(model=RESNET18, loader="dali-shuffle", cache_fraction=0.8,
+                       label="same dataset, different knobs")
+        c = SweepPoint(model=RESNET18, loader="coordl", dataset="imagenet-1k",
+                       cache_fraction=0.5)
+        assert runner.point_seed(a) == runner.point_seed(b)
+        assert runner.point_seed(a) != runner.point_seed(c)
+        other = SweepRunner(config_ssd_v100, scale=SCALE, seed=11)
+        assert runner.point_seed(a) != other.point_seed(a)
+
+
+class TestWorkerFallback:
+    """Fast-path fallback must behave identically inside a worker process."""
+
+    def _fallback_points(self):
+        # A half-size page cache goes warm after the first epoch, at which
+        # point DALI-shuffle's loader declines the vectorised epoch arrays
+        # and the engine falls back to the per-batch fetch walk — here,
+        # inside the child process.
+        return [SweepPoint(model=RESNET18, loader="dali-shuffle",
+                           dataset="openimages", cache_fraction=0.5,
+                           num_epochs=3)]
+
+    def test_fallback_in_child_matches_serial_bytes(self):
+        points = self._fallback_points()
+        assert _snapshot(points, workers=2) == _snapshot(points, workers=0)
+
+    def test_fallback_in_child_does_not_corrupt_io_accounting(self):
+        """Pooled fast-path I/O totals equal the per-batch reference walk.
+
+        Catches double-counted or dropped aggregated I/O stats when a point
+        declines the vectorised path mid-run in a worker.
+        """
+        points = self._fallback_points()
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        (pooled,) = runner.run(points, workers=2).records
+        reference_runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0,
+                                       fast_path=False)
+        (reference,) = reference_runner.run(points, workers=0).records
+        for fast_epoch, slow_epoch in zip(pooled.run.epochs,
+                                          reference.run.epochs):
+            assert fast_epoch.io.disk_requests == slow_epoch.io.disk_requests
+            assert fast_epoch.io.cache_requests == slow_epoch.io.cache_requests
+            assert fast_epoch.cache_hits == slow_epoch.cache_hits
+            assert fast_epoch.cache_misses == slow_epoch.cache_misses
+            assert fast_epoch.io.disk_bytes == pytest.approx(
+                slow_epoch.io.disk_bytes, rel=1e-12)
+            assert fast_epoch.samples == slow_epoch.samples
+
+
+class TestWorkerErrorPropagation:
+    """A failing point surfaces its label and the original exception."""
+
+    def _failing_grid(self):
+        # Valid as a point spec, but HPSearchScenario rejects 64 jobs on an
+        # 8-GPU server when the point is actually simulated.
+        good = SweepPoint(model=RESNET18, loader="coordl",
+                          dataset="openimages", cache_fraction=0.5)
+        bad = SweepPoint(model=ALEXNET, loader="hp-baseline", num_jobs=64,
+                         label="overcommitted-hp-point")
+        return [good, bad]
+
+    def test_child_failure_carries_label_and_original_exception(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        with pytest.raises(SweepPointError) as excinfo:
+            runner.run(self._failing_grid(), workers=2)
+        error = excinfo.value
+        assert "overcommitted-hp-point" in str(error)
+        assert error.point_label == "overcommitted-hp-point"
+        assert isinstance(error.__cause__, ConfigurationError)
+        assert "exceed" in str(error.__cause__)
+        # The child traceback is preserved for debugging, not lost to a
+        # bare multiprocessing RemoteTraceback.
+        assert error.child_traceback is not None
+        assert "ConfigurationError" in error.child_traceback
+
+    def test_serial_failure_is_labelled_the_same_way(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        with pytest.raises(SweepPointError) as excinfo:
+            runner.run(self._failing_grid(), workers=0)
+        error = excinfo.value
+        assert "overcommitted-hp-point" in str(error)
+        assert isinstance(error.__cause__, ConfigurationError)
+        assert error.child_traceback is None
+
+    def test_unlabelled_points_get_a_synthesised_description(self):
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        bad = SweepPoint(model=ALEXNET, loader="hp-baseline", num_jobs=64)
+        with pytest.raises(SweepPointError) as excinfo:
+            runner.run([bad, bad], workers=2)
+        assert "alexnet/hp-baseline" in str(excinfo.value)
+
+    def test_multiple_failures_report_the_first_in_input_order(self):
+        """The raised point does not depend on pool scheduling order."""
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        first = SweepPoint(model=ALEXNET, loader="hp-baseline", num_jobs=64,
+                           label="first-bad")
+        second = SweepPoint(model=ALEXNET, loader="hp-coordl", num_jobs=64,
+                            label="second-bad")
+        with pytest.raises(SweepPointError) as excinfo:
+            runner.run([first, second], workers=2)
+        assert excinfo.value.point_label == "first-bad"
+
+
+# -- property tests ----------------------------------------------------------
+
+def _make_point(model, loader, fraction):
+    if loader in ("hp-baseline", "hp-coordl"):
+        return SweepPoint(model=model, loader=loader, dataset="openimages",
+                          cache_fraction=fraction, num_jobs=4)
+    if loader in ("dist-baseline", "dist-coordl"):
+        return SweepPoint(model=model, loader=loader, dataset="openimages",
+                          cache_fraction=fraction, num_servers=2, num_epochs=2)
+    return SweepPoint(model=model, loader=loader, dataset="openimages",
+                      cache_fraction=fraction, num_epochs=2)
+
+
+_POINTS = st.lists(
+    st.builds(_make_point,
+              model=st.sampled_from([RESNET18, ALEXNET]),
+              loader=st.sampled_from(["coordl", "dali-shuffle", "pytorch",
+                                      "hp-coordl", "dist-coordl"]),
+              fraction=st.sampled_from([0.3, 0.5, 0.8, 1.1])),
+    min_size=1, max_size=4)
+
+
+@st.composite
+def _grid_and_permutation(draw):
+    points = draw(_POINTS)
+    permuted = draw(st.permutations(points))
+    return points, permuted
+
+
+def _record_map(snapshot):
+    """point-config -> record bytes, for order-independent comparison."""
+    return {json.dumps(r["point"], sort_keys=True): json.dumps(r, sort_keys=True)
+            for r in snapshot["records"]}
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid=_grid_and_permutation(), seed=st.integers(min_value=0, max_value=3))
+def test_results_are_invariant_to_point_ordering(grid, seed):
+    """Permuting the input grid permutes — never changes — the records."""
+    points, permuted = grid
+    base = SweepRunner(config_ssd_v100, scale=SCALE, seed=seed)
+    base_map = _record_map(base.run(points, workers=0).snapshot())
+    other = SweepRunner(config_ssd_v100, scale=SCALE, seed=seed)
+    permuted_snapshot = other.run(permuted, workers=0).snapshot()
+    # Records come back in input order...
+    for point, record in zip(permuted, permuted_snapshot["records"]):
+        assert record["point"]["model"] == point.model.name
+        assert record["point"]["loader"] == point.loader
+    # ...and each point's result is byte-identical to its unpermuted run.
+    assert _record_map(permuted_snapshot) == base_map
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid=_grid_and_permutation(), workers=st.integers(min_value=1, max_value=3))
+def test_results_are_invariant_to_worker_count(grid, workers):
+    """Pooled runs of a permuted grid reproduce the serial bytes per point."""
+    points, permuted = grid
+    serial = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+    serial_map = _record_map(serial.run(points, workers=0).snapshot())
+    pooled = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+    pooled_map = _record_map(pooled.run(permuted, workers=workers).snapshot())
+    assert pooled_map == serial_map
