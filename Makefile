@@ -19,9 +19,10 @@ test-workers:
 bench:
 	$(PYTHON) -m pytest -q benchmarks -s
 
-## Quick benchmark smoke: the two vectorised-vs-reference sweep speed gates
-## (Fig. 3 and Fig. 9b) — fast enough to run on every push.  The heavier
-## parallel-vs-serial gate lives in bench-parallel (and in full `make bench`).
+## Quick benchmark smoke: the vectorised-vs-reference sweep speed gates
+## (Fig. 3, Fig. 9b, and the warm/thrashing segmented-LRU kernel gate) —
+## fast enough to run on every push.  The heavier parallel-vs-serial gate
+## lives in bench-parallel (and in full `make bench`).
 bench-smoke:
 	$(PYTHON) -m pytest -q -s -k "not parallel" \
 	    benchmarks/test_sweep_speed.py \
@@ -32,8 +33,8 @@ bench-smoke:
 bench-parallel:
 	$(PYTHON) -m pytest -q -s -k "parallel" benchmarks/test_sweep_speed.py
 
-## Verify every public __all__ symbol (repro, repro.sim, repro.coordl) is
-## documented in docs/API.md.
+## Verify every public __all__ symbol (repro, repro.sim, repro.coordl,
+## repro.cache) is documented in docs/API.md.
 docs-check:
 	$(PYTHON) tools/docs_check.py
 

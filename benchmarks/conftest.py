@@ -8,15 +8,90 @@ qualitative shape, and reports its wall-clock cost through pytest-benchmark.
 The experiments are full simulations, so each one is run exactly once
 (``pedantic(rounds=1, iterations=1)``) rather than letting pytest-benchmark
 calibrate with many repetitions.
+
+The sweep-speed gates additionally record machine-readable results through
+the :func:`bench_report` fixture; at session end they are written to
+``benchmarks/BENCH_sweep.json`` (per-grid wall-clock, speedup and point
+counts) so the performance trajectory is tracked across PRs — CI uploads
+the file as a build artifact.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import json
+import os
+import pathlib
+import platform
+from typing import Any, Callable, Dict, List, Optional
 
 import pytest
 
 from repro.experiments.base import ExperimentResult
+
+#: Where the machine-readable sweep benchmark results land (gitignored;
+#: uploaded as a CI artifact).
+BENCH_REPORT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+
+class BenchReport:
+    """Collects per-grid wall-clock results from the sweep benchmarks."""
+
+    def __init__(self) -> None:
+        self.grids: List[Dict[str, Any]] = []
+
+    def record(self, name: str, *, points: int,
+               reference_s: Optional[float] = None,
+               fast_s: Optional[float] = None,
+               **extra: Any) -> None:
+        """Record one grid's timings; ``speedup`` derives when both sides ran."""
+        entry: Dict[str, Any] = {"name": name, "points": points}
+        if reference_s is not None:
+            entry["reference_s"] = round(reference_s, 6)
+        if fast_s is not None:
+            entry["fast_s"] = round(fast_s, 6)
+        if reference_s is not None and fast_s is not None and fast_s > 0:
+            entry["speedup"] = round(reference_s / fast_s, 3)
+        entry.update(extra)
+        self.grids.append(entry)
+
+    def write(self, path: pathlib.Path = BENCH_REPORT_PATH) -> pathlib.Path:
+        # Merge with whatever an earlier pytest session in the same build
+        # wrote (`make bench-smoke bench-parallel` is two sessions): grids
+        # re-measured in this session replace their previous entry, the
+        # rest are kept, so the uploaded artifact always carries every gate.
+        grids = list(self.grids)
+        measured = {entry["name"] for entry in grids}
+        try:
+            previous = json.loads(path.read_text(encoding="utf-8"))
+            grids.extend(entry for entry in previous.get("grids", ())
+                         if entry.get("name") not in measured)
+        except (OSError, ValueError):
+            pass
+        payload = {
+            "schema": "repro-bench-sweep/1",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "grids": sorted(grids, key=lambda entry: entry.get("name", "")),
+        }
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+
+_REPORT = BenchReport()
+
+
+@pytest.fixture(scope="session")
+def bench_report() -> BenchReport:
+    """Session-wide collector for the sweep benchmarks' timing results."""
+    return _REPORT
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist whatever the sweep benchmarks recorded, even on failure."""
+    if _REPORT.grids:
+        _REPORT.write()
 
 
 def run_experiment_once(benchmark, run: Callable[..., ExperimentResult],

@@ -52,7 +52,7 @@ def _fig9b_sweep(fast_path: bool) -> Tuple[float, Dict[tuple, List[float]]]:
     return elapsed, epoch_times
 
 
-def test_vectorized_fig9b_sweep_is_3x_faster_and_exact():
+def test_vectorized_fig9b_sweep_is_3x_faster_and_exact(bench_report):
     slow_elapsed = float("inf")
     for _ in range(REPEATS):
         elapsed, slow_times = _fig9b_sweep(fast_path=False)
@@ -73,5 +73,7 @@ def test_vectorized_fig9b_sweep_is_3x_faster_and_exact():
     print(f"\nFig. 9(b) sweep: per-item {slow_elapsed * 1e3:.0f} ms, "
           f"vectorized {fast_elapsed * 1e3:.0f} ms -> {speedup:.2f}x "
           f"(max epoch-time deviation {worst:.2e})")
+    bench_report.record("fig9b_distributed", points=len(fast_times),
+                        reference_s=slow_elapsed, fast_s=fast_elapsed)
     assert speedup >= MIN_SPEEDUP, (
         f"vectorized sweep only {speedup:.2f}x faster (need {MIN_SPEEDUP}x)")

@@ -1,4 +1,5 @@
-"""Benchmarks: vectorised Fig. 3 sweep vs reference, and parallel vs serial.
+"""Benchmarks: vectorised Fig. 3 sweep vs reference, the warm/thrashing
+segmented-LRU kernel vs the per-item reference, and parallel vs serial.
 
 The first benchmark runs the identical sweep grid (ResNet18, DALI-shuffle +
 CoorDL, the six cache fractions of Fig. 3, two epochs each) twice through
@@ -9,10 +10,20 @@ path, once forced onto the per-batch ``fetch_batch`` loop — and asserts that
   numerical fast path, not an approximation), and
 * the vectorised sweep is at least 3x faster end to end.
 
-The second runs a 16-point grid serially and through the ``workers=4``
-spawn pool, asserts the two results are **byte-identical** (snapshot
-comparison — the pool is not allowed to change a single bit), and that the
-pooled run is at least 2x faster when the machine actually has 4 cores.
+The warm-regime gate does the same for the two regimes the segmented-LRU
+bulk kernel closed: a warm multi-epoch Fig. 3 grid (epochs 2+ replay the
+kernel) and the Fig. 9(d) dali thrashing side (the interleaved multi-job
+stream over a page cache below the dataset).  Together they must run at
+least 3x faster than the per-item reference — with epoch times within
+1e-9, the Fig. 9(d) side byte-identical to the per-item reference, and the
+kernel-on vs kernel-off snapshots byte-identical (epoch times, I/O
+counters and cache stats; see ``tests/golden/``).
+
+The parallel benchmark runs a 16-point grid serially and through the
+``workers=4`` spawn pool, asserts the two results are **byte-identical**
+(snapshot comparison — the pool is not allowed to change a single bit),
+and that the pooled run is at least 2x faster when the machine actually
+has 4 cores.
 """
 
 from __future__ import annotations
@@ -21,11 +32,13 @@ import os
 import time
 from typing import Dict, List, Tuple
 
+from repro.cache.warm_kernel import WARM_KERNEL_ENV_VAR
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import ALEXNET, RESNET18
 from repro.experiments.base import SWEEP_SCALE
 from repro.experiments.fig3_cache_sweep import DEFAULT_FRACTIONS
-from repro.sim.sweep import SweepRunner
+from repro.sim.harness import snapshot_diff
+from repro.sim.sweep import SweepPoint, SweepRunner
 
 #: Wall-clock advantage the vectorised sweep must demonstrate.  Overridable
 #: so shared CI runners (noisy neighbours, throttled cores) can keep the
@@ -47,6 +60,16 @@ PARALLEL_WORKERS = 4
 #: Dataset scale of the parallel benchmark grid — heavy enough per point
 #: that the sweep dominates worker spawn + per-worker dataset rebuild.
 PARALLEL_SCALE = 1.0 / 10.0
+
+#: Combined wall-clock advantage the segmented-LRU warm kernel must show
+#: over the per-item reference across the warm Fig. 3 + thrashing Fig. 9d
+#: grids (env-overridable for noisy CI runners, like MIN_SPEEDUP).
+MIN_WARM_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_WARM_SPEEDUP", "3.0"))
+
+#: Per-grid floor within the warm gate: neither regime may fall back to
+#: reference-level speed even when the combined gate would still pass.
+MIN_WARM_GRID_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_WARM_GRID_SPEEDUP", "1.5"))
 
 
 def _fig3_sweep(fast_path: bool) -> Tuple[float, Dict[tuple, List[float]]]:
@@ -70,7 +93,7 @@ def _fig3_sweep(fast_path: bool) -> Tuple[float, Dict[tuple, List[float]]]:
     return elapsed, epoch_times
 
 
-def test_vectorized_fig3_sweep_is_3x_faster_and_exact(benchmark):
+def test_vectorized_fig3_sweep_is_3x_faster_and_exact(benchmark, bench_report):
     slow_elapsed = float("inf")
     for _ in range(REPEATS):
         elapsed, slow_times = _fig3_sweep(fast_path=False)
@@ -92,8 +115,117 @@ def test_vectorized_fig3_sweep_is_3x_faster_and_exact(benchmark):
     print(f"\nFig. 3 sweep: per-batch {slow_elapsed * 1e3:.0f} ms, "
           f"vectorized {fast_elapsed * 1e3:.0f} ms -> {speedup:.2f}x "
           f"(max epoch-time deviation {worst:.2e})")
+    bench_report.record("fig3_vectorized", points=len(fast_times),
+                        reference_s=slow_elapsed, fast_s=fast_elapsed)
     assert speedup >= MIN_SPEEDUP, (
         f"vectorized sweep only {speedup:.2f}x faster (need {MIN_SPEEDUP}x)")
+
+
+def _warm_fig3_points() -> List[SweepPoint]:
+    """Multi-epoch Fig. 3 grid: five warm epochs follow the cold one."""
+    return SweepRunner.grid(models=[RESNET18],
+                            loaders=["dali-shuffle", "coordl"],
+                            cache_fractions=(0.35, 0.65),
+                            dataset="openimages", num_epochs=6)
+
+
+def _fig9d_dali_points() -> List[SweepPoint]:
+    """The Fig. 9(d) dali thrashing side: eight jobs interleaving over one
+    page cache that holds 65 % of the dataset."""
+    return SweepRunner.grid(models=[ALEXNET, RESNET18],
+                            loaders=["hp-baseline"],
+                            cache_fractions=(0.65,), num_jobs=8)
+
+
+def _timed_points(points: List[SweepPoint], fast_path: bool):
+    """Run one grid serially; return (elapsed s, byte-exact snapshot)."""
+    runner = SweepRunner(config_ssd_v100, scale=SWEEP_SCALE, seed=0,
+                         fast_path=fast_path)
+    start = time.perf_counter()
+    sweep = runner.run(points, workers=0)
+    return time.perf_counter() - start, sweep.snapshot()
+
+
+def _epoch_times(snapshot: Dict) -> List[float]:
+    """Every simulated epoch/HP epoch time in a snapshot, in order."""
+    times: List[float] = []
+    for record in snapshot["records"]:
+        for epoch in record.get("epochs", ()):
+            times.append(float.fromhex(epoch["epoch_time_s"]))
+        if "hp" in record:
+            times.append(float.fromhex(record["hp"]["epoch_time_s"]))
+    return times
+
+
+def test_warm_kernel_fig3_and_fig9d_thrashing_3x_and_exact(
+        benchmark, bench_report, monkeypatch):
+    """The segmented-LRU warm-kernel gate (see the module docstring)."""
+    grids = {"fig3_warm": _warm_fig3_points(),
+             "fig9d_dali": _fig9d_dali_points()}
+    reference = {name: min((_timed_points(points, fast_path=False)
+                            for _ in range(REPEATS)), key=lambda r: r[0])
+                 for name, points in grids.items()}
+
+    def _kernel_runs():
+        return {name: _timed_points(points, fast_path=True)
+                for name, points in grids.items()}
+
+    warm_runs = [_kernel_runs() for _ in range(REPEATS - 1)]
+    warm_runs.append(benchmark.pedantic(_kernel_runs, rounds=1, iterations=1))
+    fast = {name: min((run[name] for run in warm_runs), key=lambda r: r[0])
+            for name in grids}
+
+    # Exactness, tier 1 — against the fully per-item reference: epoch
+    # times within 1e-9 everywhere, and the Fig. 9(d) dali side (a pure
+    # reduction of the cache walk, no timeline reassociation) bit-exact.
+    for name in grids:
+        ref_times = _epoch_times(reference[name][1])
+        fast_times = _epoch_times(fast[name][1])
+        worst = max(abs(a - b) for a, b in zip(ref_times, fast_times))
+        assert len(ref_times) == len(fast_times)
+        assert worst <= 1e-9, (
+            f"{name}: warm kernel diverged from the reference by {worst}")
+    assert not snapshot_diff(reference["fig9d_dali"][1], fast["fig9d_dali"][1]), (
+        "fig9d dali side is not byte-identical to the per-item reference")
+
+    # Exactness, tier 2 — kernel on vs kernel off inside the vectorised
+    # stack is byte-identical: same epoch times, I/O counters/timeline
+    # digests and cache stats, for both grids.
+    monkeypatch.setenv(WARM_KERNEL_ENV_VAR, "0")
+    kernel_off = {name: _timed_points(points, fast_path=True)
+                  for name, points in grids.items()}
+    monkeypatch.delenv(WARM_KERNEL_ENV_VAR)
+    for name in grids:
+        diffs = snapshot_diff(kernel_off[name][1], fast[name][1])
+        assert not diffs, (
+            f"{name}: kernel on/off snapshots differ (first: {diffs})")
+
+    # Speed: each regime beats the per-item reference, and combined the
+    # warm/thrashing sweeps are >= MIN_WARM_SPEEDUP faster.
+    for name in grids:
+        grid_speedup = reference[name][0] / fast[name][0]
+        bench_report.record(name, points=len(grids[name]),
+                            reference_s=reference[name][0],
+                            fast_s=fast[name][0],
+                            kernel_off_s=round(kernel_off[name][0], 6))
+        print(f"\n{name}: per-item {reference[name][0] * 1e3:.0f} ms, "
+              f"warm kernel {fast[name][0] * 1e3:.0f} ms -> "
+              f"{grid_speedup:.2f}x (kernel off: "
+              f"{kernel_off[name][0] * 1e3:.0f} ms)")
+        assert grid_speedup >= MIN_WARM_GRID_SPEEDUP, (
+            f"{name} only {grid_speedup:.2f}x faster than the per-item "
+            f"reference (need {MIN_WARM_GRID_SPEEDUP}x)")
+    combined_ref = sum(reference[name][0] for name in grids)
+    combined_fast = sum(fast[name][0] for name in grids)
+    combined = combined_ref / combined_fast
+    bench_report.record("warm_kernel_combined",
+                        points=sum(len(p) for p in grids.values()),
+                        reference_s=combined_ref, fast_s=combined_fast)
+    print(f"warm kernel combined: {combined_ref * 1e3:.0f} ms -> "
+          f"{combined_fast * 1e3:.0f} ms = {combined:.2f}x")
+    assert combined >= MIN_WARM_SPEEDUP, (
+        f"warm kernel only {combined:.2f}x faster overall "
+        f"(need {MIN_WARM_SPEEDUP}x)")
 
 
 def _parallel_grid():
@@ -112,7 +244,7 @@ def _timed_sweep(workers: int):
     return time.perf_counter() - start, sweep.snapshot()
 
 
-def test_parallel_sweep_is_byte_identical_and_2x_faster(benchmark):
+def test_parallel_sweep_is_byte_identical_and_2x_faster(benchmark, bench_report):
     serial_elapsed, serial_snapshot = _timed_sweep(workers=0)
     parallel_snapshot = benchmark.pedantic(
         lambda: _timed_sweep(workers=PARALLEL_WORKERS), rounds=1, iterations=1)[1]
@@ -125,6 +257,9 @@ def test_parallel_sweep_is_byte_identical_and_2x_faster(benchmark):
 
     speedup = serial_elapsed / parallel_elapsed
     cores = os.cpu_count() or 1
+    bench_report.record("parallel_16pt", points=len(_parallel_grid()),
+                        reference_s=serial_elapsed, fast_s=parallel_elapsed,
+                        workers=PARALLEL_WORKERS, cores=cores)
     print(f"\n16-point sweep: serial {serial_elapsed:.2f} s, "
           f"workers={PARALLEL_WORKERS} {parallel_elapsed:.2f} s -> "
           f"{speedup:.2f}x on {cores} cores (exact)")

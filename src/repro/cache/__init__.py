@@ -10,6 +10,11 @@ from repro.cache.partitioned import (
     PartitionedLookup,
 )
 from repro.cache.stats import CacheStats
+from repro.cache.warm_kernel import (
+    WARM_KERNEL_ENV_VAR,
+    SegmentedLRUResult,
+    simulate_segmented_lru,
+)
 
 __all__ = [
     "Cache",
@@ -20,4 +25,7 @@ __all__ = [
     "PartitionedCacheGroup",
     "PartitionedLookup",
     "LookupSource",
+    "SegmentedLRUResult",
+    "simulate_segmented_lru",
+    "WARM_KERNEL_ENV_VAR",
 ]

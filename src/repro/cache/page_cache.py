@@ -33,6 +33,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.cache.base import Cache
+from repro.cache.warm_kernel import simulate_segmented_lru, warm_kernel_enabled
 from repro.exceptions import ConfigurationError
 
 
@@ -62,7 +63,8 @@ class PageCache(Cache):
         self._active: "OrderedDict[int, float]" = OrderedDict()
         self._inactive_bytes = 0.0
         self._active_bytes = 0.0
-        self._evictions = 0
+        self._pressure_evictions = 0
+        self._explicit_evictions = 0
 
     # -- bookkeeping helpers -------------------------------------------------
 
@@ -87,8 +89,23 @@ class PageCache(Cache):
 
     @property
     def evictions(self) -> int:
-        """Number of items evicted so far (thrashing indicator)."""
-        return self._evictions
+        """Items evicted by capacity pressure so far (thrashing indicator).
+
+        Explicit ``evict()`` drops (``posix_fadvise(DONTNEED)`` — a policy
+        *choice*, not thrashing) are counted separately in
+        :attr:`explicit_evictions`.
+        """
+        return self._pressure_evictions
+
+    @property
+    def pressure_evictions(self) -> int:
+        """Items evicted because an admission needed room (= ``evictions``)."""
+        return self._pressure_evictions
+
+    @property
+    def explicit_evictions(self) -> int:
+        """Items dropped through :meth:`evict` (fadvise-style invalidation)."""
+        return self._explicit_evictions
 
     def _rounded(self, size_bytes: float) -> float:
         pages = max(1, int(-(-size_bytes // self._page_bytes)))  # ceil division
@@ -129,7 +146,7 @@ class PageCache(Cache):
                 self._active_bytes -= size
             else:
                 break
-            self._evictions += 1
+            self._pressure_evictions += 1
 
     # -- Cache interface -----------------------------------------------------
 
@@ -172,12 +189,17 @@ class PageCache(Cache):
         nothing is promoted to the active list, and FIFO byte eviction leaves
         exactly the maximal suffix of the admitted stream whose rounded sizes
         fit in the capacity.  A *warm* page cache has no closed form — hits
-        promote pages and reshape both lists — so the warm path drives the
-        ordinary ``lookup``/``admit`` state machine item by item, just
-        without any loader-layer work per item; the caller derives timings
-        and I/O accounting from the returned mask vectorised.
+        promote pages and reshape both lists — so the warm branch replays
+        the state machine through the bulk kernel
+        (:meth:`bulk_stream_hits`), falling back to the per-item
+        ``lookup``/``admit`` reference walk when the kernel declines; either
+        way the caller derives timings and I/O accounting from the returned
+        mask vectorised.
         """
         if self._inactive or self._active:
+            hits = self.bulk_stream_hits(item_ids, sizes)
+            if hits is not None:
+                return hits
             return self._warm_epoch_hits(item_ids, sizes)
         item_ids = np.asarray(item_ids, dtype=np.int64)
         sizes = np.asarray(sizes, dtype=np.float64)
@@ -194,7 +216,7 @@ class PageCache(Cache):
         # whose total fits; everything inserted before it was evicted.
         suffix_bytes = np.cumsum(inserted_sizes[::-1])
         keep = int(np.searchsorted(suffix_bytes, self._capacity, side="right"))
-        self._evictions += int(inserted_ids.size) - keep
+        self._pressure_evictions += int(inserted_ids.size) - keep
         if keep:
             for item_id, size in zip(inserted_ids[-keep:].tolist(),
                                      inserted_sizes[-keep:].tolist()):
@@ -233,6 +255,13 @@ class PageCache(Cache):
         rounded = np.maximum(np.ceil(sizes / self._page_bytes), 1.0) * self._page_bytes
         distinct, first_pos, inverse = np.unique(item_ids, return_index=True,
                                                  return_inverse=True)
+        # Cheap decline for thrashing streams: the newly admitted bytes are
+        # at least the distinct rounded footprint minus what is already
+        # resident, so once that footprint alone exceeds the capacity (plus
+        # one page of float slack) the no-eviction precondition cannot hold
+        # and the per-distinct residency probe below would be wasted work.
+        if float(rounded[first_pos].sum()) > self._capacity + self._page_bytes:
+            return None
         resident = np.fromiter((item in self for item in distinct.tolist()),
                                dtype=bool, count=distinct.size)
         stored = rounded[first_pos].copy()
@@ -259,6 +288,60 @@ class PageCache(Cache):
         self._inactive_bytes += float(rounded[new_first].sum())
         return ~miss
 
+    def bulk_stream_hits(self, item_ids: np.ndarray,
+                         sizes: np.ndarray) -> Optional[np.ndarray]:
+        """Any warm/thrashing access stream in bulk, exactly.
+
+        The general entry of the fast-path lattice: the stream may revisit
+        items (the HP-search baseline interleaves several jobs' epochs over
+        one shared page cache) and the cache may start warm, below the
+        working set, and evicting on every admission — the segmented-LRU
+        thrashing regime of Sec. 3.3.1.  The whole stream is replayed
+        through :func:`repro.cache.warm_kernel.simulate_segmented_lru`,
+        which reproduces the per-item ``lookup`` + ``admit`` walk bit for
+        bit: hit mask, every stats counter (including ``hit_bytes``), the
+        pressure-eviction count, byte occupancies and the exact order of
+        both lists (observable through future evictions and demotions).
+
+        Every miss is admitted, as the kernel page cache does — callers
+        with an admission *policy* must walk item by item.  Returns ``None``
+        without side effects when the kernel is disabled
+        (``REPRO_WARM_KERNEL=0``) or cannot certify float-exactness
+        (degenerate page sizes, stored sizes that are not page multiples);
+        side effects are all-or-nothing, as for the other bulk paths.
+        """
+        if not warm_kernel_enabled():
+            return None
+        result = simulate_segmented_lru(
+            item_ids, sizes,
+            capacity_bytes=self._capacity,
+            page_bytes=self._page_bytes,
+            active_limit_bytes=self._capacity * self._active_target,
+            inactive=self._inactive, active=self._active,
+            inactive_bytes=self._inactive_bytes,
+            active_bytes=self._active_bytes,
+            prior_hit_bytes=self._stats.hit_bytes)
+        if result is None:
+            return None
+        page = self._page_bytes
+        in_ids, in_pages = result.inactive
+        act_ids, act_pages = result.active
+        self._inactive = OrderedDict(
+            (item, pages * page)
+            for item, pages in zip(in_ids.tolist(), in_pages.tolist()))
+        self._active = OrderedDict(
+            (item, pages * page)
+            for item, pages in zip(act_ids.tolist(), act_pages.tolist()))
+        self._inactive_bytes = float(int(in_pages.sum())) * page
+        self._active_bytes = float(int(act_pages.sum())) * page
+        self._pressure_evictions += result.pressure_evictions
+        self._stats.hits += result.hits
+        self._stats.misses += result.misses
+        self._stats.insertions += result.insertions
+        self._stats.rejected += result.rejected
+        self._stats.hit_bytes += float(result.hit_pages) * page
+        return result.hit_mask
+
     def _warm_epoch_hits(self, item_ids: np.ndarray,
                          sizes: np.ndarray) -> np.ndarray:
         """Exact warm-epoch sweep: per-item ``lookup`` + ``admit`` on miss."""
@@ -275,14 +358,18 @@ class PageCache(Cache):
         return hits
 
     def evict(self, item_id: int) -> bool:
-        """Drop one item (posix_fadvise(DONTNEED)); True if it was present."""
+        """Drop one item (posix_fadvise(DONTNEED)); True if it was present.
+
+        Counted in :attr:`explicit_evictions`, not in the pressure-driven
+        :attr:`evictions` thrashing indicator.
+        """
         if item_id in self._inactive:
             self._inactive_bytes -= self._inactive.pop(item_id)
         elif item_id in self._active:
             self._active_bytes -= self._active.pop(item_id)
         else:
             return False
-        self._evictions += 1
+        self._explicit_evictions += 1
         return True
 
     def clear(self) -> None:

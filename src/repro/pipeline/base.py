@@ -171,10 +171,13 @@ class DataLoader:
         per minibatch — after applying exactly the side effects the per-batch
         :meth:`fetch_batch` loop would have applied (cache mutations and
         counters, loader and store I/O accounting including the disk
-        timeline).  Returns ``None``, without side effects, when the epoch
-        must be simulated item by item: a subclass customises the fetch
-        policy, the epoch revisits an item, or the cache's trajectory is not
-        analytically known (see :meth:`repro.cache.base.Cache.bulk_epoch_hits`).
+        timeline).  Warm page-cache epochs qualify too: epochs 2+ replay
+        the segmented-LRU bulk kernel inside
+        :meth:`repro.cache.page_cache.PageCache.bulk_epoch_hits`.  Returns
+        ``None``, without side effects, when the epoch must be simulated
+        item by item: a subclass customises the fetch policy, the epoch
+        revisits an item, or the cache cannot apply the epoch in bulk (see
+        :meth:`repro.cache.base.Cache.bulk_epoch_hits`).
         """
         cls = type(self)
         if (cls.fetch_batch is not DataLoader.fetch_batch

@@ -32,10 +32,12 @@ Python interpreter:
   loop as the executable specification);
 * :meth:`PipelineSimulator.collect_batch_times` asks the loader for whole
   per-batch time *arrays* (:meth:`repro.pipeline.base.DataLoader.batch_time_arrays`)
-  whenever the cache trajectory over the epoch is analytically known — a
-  MinIO cache in any state, a cold page cache — and only falls back to the
-  per-batch ``fetch_batch`` loop when cache state must be mutated step by
-  step (a warm page cache, custom fetch policies).
+  whenever the cache can apply the epoch in bulk — a MinIO cache in any
+  state, a cold page cache's closed form, and warm/thrashing page caches
+  through the segmented-LRU bulk kernel
+  (:mod:`repro.cache.warm_kernel`) — and only falls back to the per-batch
+  ``fetch_batch`` loop for custom fetch policies, repeated items or a
+  declined kernel.
 """
 
 from __future__ import annotations

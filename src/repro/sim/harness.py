@@ -7,9 +7,12 @@ golden-regression tests (``tests/test_golden_sweeps.py``), the property
 tests (``tests/test_sweep_parallel.py``) and the regeneration tool
 (``tools/make_golden.py``) use to state that promise:
 
-* :data:`GOLDEN_GRIDS` — three small, fast reference grids, one per sweep
-  point kind: a Fig. 3 cache sweep (single-server training points), a
-  Fig. 9(b) distributed grid and a Tab. 7 HP-search grid;
+* :data:`GOLDEN_GRIDS` — five small, fast reference grids: a Fig. 3 cache
+  sweep (single-server training points), a Fig. 9(b) distributed grid, a
+  Tab. 7 HP-search grid, a warm multi-epoch Fig. 3 grid and a
+  thrashing-regime Fig. 9(d) grid (the last two drive the segmented-LRU
+  warm kernel, and are additionally asserted byte-identical with the
+  kernel disabled via :data:`~repro.cache.warm_kernel.WARM_KERNEL_ENV_VAR`);
 * :func:`run_golden_grid` — build the grid's runner, run it (optionally
   through the worker pool) and return the byte-exact
   :meth:`~repro.sim.sweep.SweepResult.snapshot`;
@@ -84,6 +87,23 @@ def _tab7_points() -> List[SweepPoint]:
         cache_fractions=(1.2,), dataset="imagenet-1k", num_jobs=4)
 
 
+def _fig3_warm_points() -> List[SweepPoint]:
+    """Warm multi-epoch Fig. 3 slice: epochs 2+ replay the segmented-LRU
+    warm kernel (page cache below and near the dataset size)."""
+    return SweepRunner.grid(
+        models=[RESNET18], loaders=["dali-shuffle", "coordl"],
+        cache_fractions=(0.35, 0.8), dataset="openimages", num_epochs=5)
+
+
+def _fig9d_points() -> List[SweepPoint]:
+    """Thrashing-regime Fig. 9(d) slice: the shared page cache sits below
+    the dataset, so the interleaved multi-job stream evicts continuously
+    (the dali side) — the warm kernel's multi-pass entry."""
+    return SweepRunner.grid(
+        models=[ALEXNET], loaders=["hp-baseline", "hp-coordl"],
+        cache_fractions=(0.35, 0.65), dataset="imagenet-1k", num_jobs=4)
+
+
 #: The committed reference grids, by name.
 GOLDEN_GRIDS: Dict[str, GoldenGrid] = {
     grid.name: grid
@@ -91,17 +111,26 @@ GOLDEN_GRIDS: Dict[str, GoldenGrid] = {
         GoldenGrid("fig3_small", config_ssd_v100, _fig3_points),
         GoldenGrid("fig9b_small", config_hdd_1080ti, _fig9b_points),
         GoldenGrid("tab7_small", config_ssd_v100, _tab7_points),
+        GoldenGrid("fig3_warm", config_ssd_v100, _fig3_warm_points),
+        GoldenGrid("fig9d_small", config_ssd_v100, _fig9d_points),
     )
 }
 
-def run_golden_grid(name: str, workers: int = 0) -> Dict[str, Any]:
-    """Run one reference grid and return its byte-exact snapshot."""
+def run_golden_grid(name: str, workers: int = 0,
+                    fast_path: bool = True) -> Dict[str, Any]:
+    """Run one reference grid and return its byte-exact snapshot.
+
+    ``fast_path=False`` forces the per-item/per-batch reference paths; the
+    bulk warm kernel alone is toggled orthogonally through the
+    :data:`~repro.cache.warm_kernel.WARM_KERNEL_ENV_VAR` environment
+    variable (which spawned sweep workers inherit).
+    """
     try:
         grid = GOLDEN_GRIDS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown golden grid {name!r}; known: {sorted(GOLDEN_GRIDS)}") from None
-    runner = grid.build_runner()
+    runner = grid.build_runner(fast_path=fast_path)
     return runner.run(grid.points(), workers=workers).snapshot()
 
 

@@ -107,6 +107,7 @@ class HPSearchScenario:
         self._gpus_per_job = gpus_per_job
         self._seed = seed
         self._fast_path = fast_path
+        self._rounded_totals: dict = {}
 
     # -- shared helpers ----------------------------------------------------
 
@@ -155,6 +156,16 @@ class HPSearchScenario:
         head = head.transpose(1, 0, 2).reshape(-1)
         return np.concatenate([head, orders[:, full:].reshape(-1)])
 
+    def _page_rounded_total(self, cache: PageCache) -> float:
+        """Page-rounded byte footprint of the whole dataset (memoised)."""
+        page = cache.page_bytes
+        cached = self._rounded_totals.get(page)
+        if cached is None:
+            sizes = self._dataset.item_sizes(np.arange(len(self._dataset)))
+            cached = float((np.maximum(np.ceil(sizes / page), 1.0) * page).sum())
+            self._rounded_totals[page] = cached
+        return cached
+
     def _simulate_shared_page_cache_epoch(self, cache: PageCache, epoch: int,
                                           sequential_jobs: bool = False) -> float:
         """Interleave the jobs' access streams; return disk bytes for the epoch.
@@ -184,21 +195,41 @@ class HPSearchScenario:
     def _shared_page_cache_epoch(self, cache: PageCache, epoch: int) -> float:
         """One interleaved epoch over the shared page cache (fast when allowed).
 
-        The analytic path applies when the cache can never evict during the
-        stream (:meth:`~repro.cache.page_cache.PageCache.bulk_saturating_hits`
-        — the fully-cached Table 7 regime); otherwise the exact sweep drives
-        the same ``lookup``/``admit`` state machine over the bulk-built
-        interleaving, with the per-access size lookups vectorised away.
-        Either way the cache mutations, counters and returned disk bytes
-        match the per-item reference.
+        Two bulk paths cover every regime the experiments exercise: when the
+        cache can never evict during the stream
+        (:meth:`~repro.cache.page_cache.PageCache.bulk_saturating_hits` —
+        the fully-cached Table 7 regime) the trajectory is closed-form; in
+        the *thrashing* regime (cache below the working set, the dali side
+        of Fig. 9d) the whole interleaved stream is replayed through the
+        segmented-LRU bulk kernel
+        (:meth:`~repro.cache.page_cache.PageCache.bulk_stream_hits`).  If
+        both decline, the exact sweep drives the same ``lookup``/``admit``
+        state machine over the bulk-built interleaving, with the per-access
+        size lookups vectorised away.  Every path yields the identical
+        cache mutations, counters and disk bytes as the per-item reference
+        (the miss bytes are reduced with a sequential ``cumsum``, matching
+        the reference's left-to-right accumulation bit for bit).
         """
         if not self._fast_path:
             return self._simulate_shared_page_cache_epoch(cache, epoch)
         order = self._interleaved_order(epoch)
         sizes = self._dataset.item_sizes(order)
-        hits = cache.bulk_saturating_hits(order, sizes)
+        # The interleaved stream touches every dataset item, so when the
+        # page-rounded dataset footprint exceeds the capacity the
+        # no-eviction precondition provably cannot hold (newly admitted
+        # bytes are at least the footprint minus what is resident) and the
+        # saturating probe — a sort plus a per-distinct residency scan —
+        # would be wasted work on every thrashing epoch.
+        if self._page_rounded_total(cache) <= cache.capacity_bytes + cache.page_bytes:
+            hits = cache.bulk_saturating_hits(order, sizes)
+            if hits is not None:
+                return float(sizes[~hits].sum())
+        hits = cache.bulk_stream_hits(order, sizes)
         if hits is not None:
-            return float(sizes[~hits].sum())
+            miss_sizes = sizes[~hits]
+            if miss_sizes.size == 0:
+                return 0.0
+            return float(np.cumsum(miss_sizes)[-1])
         disk_bytes = 0.0
         lookup, admit = cache.lookup, cache.admit
         for item_id, size in zip(order.tolist(), sizes.tolist()):

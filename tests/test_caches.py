@@ -114,11 +114,102 @@ class TestPageCache:
         cache.clear()
         assert cache.used_bytes == 0.0
 
+    def test_explicit_evictions_counted_separately_from_pressure(self):
+        """fadvise(DONTNEED) drops are policy, not thrashing (split counters)."""
+        cache = PageCache(2 * 4096.0)
+        cache.admit(1, 4096.0)
+        assert cache.evict(1)
+        assert not cache.evict(99)          # absent: no count
+        assert cache.explicit_evictions == 1
+        assert cache.pressure_evictions == 0
+        assert cache.evictions == 0         # the thrashing indicator
+        # Now fill past capacity: pressure evictions only.
+        for item in (2, 3, 4):
+            cache.admit(item, 4096.0)
+        assert cache.pressure_evictions == 1
+        assert cache.evictions == 1
+        assert cache.explicit_evictions == 1
+
+    def test_pressure_eviction_can_press_on_active_list(self):
+        """With a full active target, reclaim falls through to active pages."""
+        cache = PageCache(2 * 4096.0, active_target_fraction=1.0)
+        for item in (1, 2):
+            cache.admit(item, 4096.0)
+            cache.lookup(item)              # promote: whole cache is active
+        cache.admit(3, 4096.0)
+        assert cache.pressure_evictions == 1
+        assert 1 not in cache and 2 in cache and 3 in cache
+
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ConfigurationError):
             PageCache(100.0, page_bytes=0)
         with pytest.raises(ConfigurationError):
             PageCache(100.0, active_target_fraction=1.5)
+
+
+class TestPageCacheBulkStream:
+    """Unit coverage of the segmented-LRU bulk kernel entry point
+    (`PageCache.bulk_stream_hits`); the exhaustive equivalence is
+    property-tested in tests/test_properties.py."""
+
+    def _walk(self, cache, stream, sizes):
+        hits = []
+        for item, size in zip(stream.tolist(), sizes.tolist()):
+            hit = cache.lookup(item)
+            hits.append(hit)
+            if not hit:
+                cache.admit(item, size)
+        return hits
+
+    def test_thrashing_stream_matches_walk_bit_for_bit(self, tiny_dataset):
+        capacity = tiny_dataset.total_bytes * 0.5
+        scalar, bulk = PageCache(capacity), PageCache(capacity)
+        sampler = RandomSampler(len(tiny_dataset), seed=0)
+        stream = np.concatenate([sampler.epoch(e) for e in range(3)])
+        sizes = tiny_dataset.item_sizes(stream)
+        expected = self._walk(scalar, stream, sizes)
+        hits = bulk.bulk_stream_hits(stream, sizes)
+        assert hits is not None
+        assert hits.tolist() == expected
+        assert list(bulk.cached_items()) == list(scalar.cached_items())
+        assert bulk.used_bytes == scalar.used_bytes
+        assert bulk.active_bytes == scalar.active_bytes
+        assert bulk.evictions == scalar.evictions > 0
+        assert bulk.stats.hit_bytes == scalar.stats.hit_bytes
+
+    def test_env_kill_switch_declines_without_side_effects(self, monkeypatch):
+        from repro.cache.warm_kernel import WARM_KERNEL_ENV_VAR
+        cache = PageCache(8 * 4096.0)
+        cache.admit(1, 4096.0)
+        monkeypatch.setenv(WARM_KERNEL_ENV_VAR, "0")
+        stream = np.arange(4, dtype=np.int64)
+        assert cache.bulk_stream_hits(stream, np.full(4, 4096.0)) is None
+        assert cache.stats.accesses == 0
+        assert cache.used_bytes == 4096.0
+
+    def test_unprovable_page_arithmetic_declines_without_side_effects(self):
+        # A page size with a fully-dense significand certifies almost no
+        # exact multiples, so the kernel must decline rather than guess.
+        cache = PageCache(1e9, page_bytes=4096.0 * (1 + 2.0**-52))
+        cache.admit(1, 5000.0)
+        before = dict(used=cache.used_bytes, hits=cache.stats.hits)
+        stream = np.arange(64, dtype=np.int64)
+        sizes = np.full(64, 5000.0)
+        assert cache.bulk_stream_hits(stream, sizes) is None
+        assert cache.used_bytes == before["used"]
+        assert cache.stats.hits == before["hits"]
+
+    def test_oversized_items_are_rejected_like_the_walk(self):
+        capacity = 4 * 4096.0
+        scalar, bulk = PageCache(capacity), PageCache(capacity)
+        stream = np.array([0, 1, 0, 2], dtype=np.int64)
+        sizes = np.array([4096.0, 10 * 4096.0, 4096.0, 2 * 4096.0])
+        expected = self._walk(scalar, stream, sizes)
+        hits = bulk.bulk_stream_hits(stream, sizes)
+        assert hits is not None
+        assert hits.tolist() == expected
+        assert bulk.stats.rejected == scalar.stats.rejected == 1
+        assert list(bulk.cached_items()) == list(scalar.cached_items())
 
 
 class TestMinIOCache:

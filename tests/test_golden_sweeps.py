@@ -3,11 +3,16 @@
 Each committed file under ``tests/golden/`` is the byte-exact snapshot
 (:meth:`~repro.sim.sweep.SweepResult.snapshot`, ``float.hex`` floats) of a
 small reference grid — Fig. 3 (single-server training points), Fig. 9(b)
-(distributed points) and Tab. 7 (HP-search points).  The tests assert that
+(distributed points), Tab. 7 (HP-search points), a warm multi-epoch Fig. 3
+grid and a thrashing-regime Fig. 9(d) grid (the last two exercise the
+segmented-LRU warm kernel).  The tests assert that
 :class:`~repro.sim.sweep.SweepRunner` reproduces every one of them
 bit-for-bit serially (``workers=0``) and through the spawn worker pool
 (``workers=1`` and ``workers=4``): parallel execution must not change a
-single float bit, I/O counter or cache statistic.
+single float bit, I/O counter or cache statistic.  The warm-kernel grids
+are additionally reproduced with the kernel disabled
+(``REPRO_WARM_KERNEL=0`` — spawned workers inherit it), pinning the kernel
+≡ per-item-walk equivalence to the committed bytes at every worker count.
 
 Regenerate the files with ``python tools/make_golden.py`` only when a
 deliberate simulation change moves the numbers.
@@ -19,6 +24,7 @@ import pathlib
 
 import pytest
 
+from repro.cache.warm_kernel import WARM_KERNEL_ENV_VAR
 from repro.sim.harness import (
     GOLDEN_GRIDS,
     golden_path,
@@ -32,6 +38,9 @@ from repro.sim.harness import (
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
 
 GRID_NAMES = sorted(GOLDEN_GRIDS)
+
+#: Grids whose warm/thrashing epochs run through the segmented-LRU kernel.
+WARM_KERNEL_GRIDS = ("fig3_warm", "fig9d_small")
 
 
 @pytest.mark.parametrize("name", GRID_NAMES)
@@ -53,6 +62,46 @@ def test_sweep_reproduces_golden_snapshot(name, workers):
         f"{name} at workers={workers} diverged from the committed snapshot "
         f"(first differences: {diffs}); if the simulation legitimately "
         "changed, regenerate with tools/make_golden.py")
+
+
+@pytest.mark.parametrize("workers", [0, 1, 4])
+@pytest.mark.parametrize("name", WARM_KERNEL_GRIDS)
+def test_warm_kernel_off_reproduces_golden_snapshot(name, workers, monkeypatch):
+    """The per-item warm walk must reproduce the kernel's committed bytes.
+
+    The snapshots were generated with the kernel enabled; disabling it
+    (the environment variable is inherited by spawned workers) must not
+    move a single bit — the kernel is a fast path, not an approximation.
+    """
+    monkeypatch.setenv(WARM_KERNEL_ENV_VAR, "0")
+    expected = load_golden(name, GOLDEN_DIR)
+    actual = run_golden_grid(name, workers=workers)
+    diffs = snapshot_diff(expected, actual)
+    assert not diffs, (
+        f"{name} with the warm kernel disabled (workers={workers}) diverged "
+        f"from the committed snapshot (first differences: {diffs})")
+
+
+def test_fig9d_dali_side_reproduces_golden_without_fast_path():
+    """The fully per-item reference stack agrees on the thrashing side.
+
+    Training points are compared through the vectorised stack only (their
+    epoch timelines reassociate float sums), and so are the MinIO/coordl
+    points (their analytic epoch sums bytes pairwise).  The page-cache
+    baseline points, however, reduce the warm kernel's walk with the same
+    left-to-right accumulation the reference uses, so the Fig. 9(d) dali
+    side must be byte-identical even against ``fast_path=False``.
+    """
+    expected = load_golden("fig9d_small", GOLDEN_DIR)
+    actual = run_golden_grid("fig9d_small", fast_path=False)
+    compared = 0
+    for exp_record, act_record in zip(expected["records"], actual["records"]):
+        if exp_record["point"]["loader"] == "hp-baseline":
+            compared += 1
+            assert exp_record == act_record, (
+                "fig9d_small: HP-search baseline point diverged between "
+                "the kernel and the per-item reference scenario")
+    assert compared, "fig9d grid lost its dali side"
 
 
 @pytest.mark.parametrize("name", GRID_NAMES)

@@ -363,6 +363,118 @@ class TestMakespanProperties:
                 assert all(bulk.owner_of(i) == scalar.owner_of(i)
                            for i in range(num_items))
 
+    @given(num_items=st.integers(1, 80), seed=seeds,
+           capacity_fraction=st.floats(0.05, 1.5),
+           active_target=st.floats(0.0, 1.0),
+           passes=st.integers(1, 4),
+           page_pow=st.integers(0, 12),
+           warm_fraction=st.floats(0.0, 1.0),
+           jitter=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_warm_kernel_equals_per_item_walk(self, num_items, seed,
+                                              capacity_fraction, active_target,
+                                              passes, page_pow, warm_fraction,
+                                              jitter):
+        """The segmented-LRU bulk kernel ≡ the lookup/admit walk, bit for bit.
+
+        Random multi-pass streams over random capacities, page sizes and
+        ``active_target_fraction`` values, from warm starts with promoted
+        pages; ``jitter`` perturbs per-access sizes so the same item shows
+        different rounded sizes (the kernel's general/mixed-size loop).
+        The hit mask, every stats counter (including exact ``hit_bytes``),
+        the split eviction counters, the byte occupancies and the *order*
+        of both lists — what future evictions observe — must all be equal.
+        """
+        page = float(2 ** page_pow)
+        rng = np.random.default_rng(seed)
+        item_sizes = np.maximum(rng.lognormal(8.0, 1.0, num_items), 1.0)
+        capacity = float(item_sizes.sum() * capacity_fraction)
+        scalar = PageCache(capacity, page_bytes=page,
+                           active_target_fraction=active_target)
+        bulk = PageCache(capacity, page_bytes=page,
+                         active_target_fraction=active_target)
+        warm = rng.permutation(num_items)[:int(num_items * warm_fraction)]
+        for cache in (scalar, bulk):
+            for item in warm.tolist():
+                if not cache.lookup(item):
+                    cache.admit(item, float(item_sizes[item]))
+            for item in warm.tolist()[::3]:
+                cache.lookup(item)          # promote a third to active
+        stream = np.concatenate([rng.permutation(num_items)
+                                 for _ in range(passes)]).astype(np.int64)
+        sizes = item_sizes[stream]
+        if jitter:
+            sizes = sizes * rng.choice([0.5, 1.0, 1.0, 2.0], size=sizes.size)
+        scalar_hits = []
+        for item, size in zip(stream.tolist(), sizes.tolist()):
+            hit = scalar.lookup(item)
+            scalar_hits.append(hit)
+            if not hit:
+                scalar.admit(item, size)
+        bulk_hits = bulk.bulk_stream_hits(stream, sizes)
+        assert bulk_hits is not None, "kernel declined a realisable stream"
+        assert bulk_hits.tolist() == scalar_hits
+        # List *order* equality: ordering is observable through future
+        # evictions and demotions, so the kernel must reproduce it exactly.
+        assert list(bulk._inactive.items()) == list(scalar._inactive.items())
+        assert list(bulk._active.items()) == list(scalar._active.items())
+        assert bulk.used_bytes == scalar.used_bytes
+        assert bulk.active_bytes == scalar.active_bytes
+        assert bulk.inactive_bytes == scalar.inactive_bytes
+        assert bulk.evictions == scalar.evictions
+        assert bulk.pressure_evictions == scalar.pressure_evictions
+        assert bulk.explicit_evictions == scalar.explicit_evictions
+        for field in ("hits", "misses", "insertions", "rejected",
+                      "hit_bytes", "miss_bytes"):
+            assert getattr(bulk.stats, field) == getattr(scalar.stats, field)
+        # Ordering-observable future evictions: keep streaming until the
+        # caches churn again and re-compare the hit masks.
+        tail = rng.permutation(num_items).astype(np.int64)
+        tail_sizes = item_sizes[tail]
+        tail_scalar = []
+        for item, size in zip(tail.tolist(), tail_sizes.tolist()):
+            hit = scalar.lookup(item)
+            tail_scalar.append(hit)
+            if not hit:
+                scalar.admit(item, size)
+        tail_bulk = bulk.bulk_stream_hits(tail, tail_sizes)
+        assert tail_bulk is not None
+        assert tail_bulk.tolist() == tail_scalar
+        assert list(bulk._inactive.items()) == list(scalar._inactive.items())
+        assert list(bulk._active.items()) == list(scalar._active.items())
+
+    @given(num_items=st.integers(1, 60), seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_warm_kernel_mixed_size_fallback_is_exact(self, num_items, seed):
+        """When the kernel declines (unprovable page arithmetic), the warm
+        branch of ``bulk_epoch_hits`` falls back to the per-item walk with
+        identical results and no double-applied side effects."""
+        page = 4096.0 * (1 + 2.0 ** -52)    # dense significand: no exact multiples
+        rng = np.random.default_rng(seed)
+        item_sizes = np.maximum(rng.lognormal(8.0, 1.0, num_items), 1.0)
+        capacity = float(item_sizes.sum() * 0.5)
+        scalar = PageCache(capacity, page_bytes=page)
+        bulk = PageCache(capacity, page_bytes=page)
+        for cache in (scalar, bulk):                # warm both identically
+            for item in range(0, num_items, 2):
+                if not cache.lookup(item):
+                    cache.admit(item, float(item_sizes[item]))
+        for epoch in range(2):
+            order = RandomSampler(num_items, seed=seed).epoch(epoch)
+            sizes = item_sizes[order]
+            scalar_hits = []
+            for item, size in zip(order.tolist(), sizes.tolist()):
+                hit = scalar.lookup(item)
+                scalar_hits.append(hit)
+                if not hit:
+                    scalar.admit(item, size)
+            assert bulk.bulk_stream_hits(order, sizes) is None
+            bulk_hits = bulk.bulk_epoch_hits(order, sizes)
+            assert bulk_hits.tolist() == scalar_hits
+            assert list(bulk.cached_items()) == list(scalar.cached_items())
+            for field in ("hits", "misses", "insertions", "rejected"):
+                assert getattr(bulk.stats, field) == getattr(scalar.stats, field)
+
     @given(num_items=st.integers(1, 300), seed=seeds,
            capacity_pages=st.integers(1, 200), epochs=st.integers(1, 3))
     @settings(max_examples=60, deadline=None)

@@ -2,7 +2,8 @@
 """Fail if any public ``__all__`` symbol is missing from docs/API.md.
 
 Checked surfaces: ``repro.__all__`` (the top-level re-exports) plus the
-subsystem surfaces ``repro.sim.__all__`` and ``repro.coordl.__all__``.
+subsystem surfaces ``repro.sim.__all__``, ``repro.coordl.__all__`` and
+``repro.cache.__all__``.
 
 Run as ``make docs-check`` (or ``PYTHONPATH=src python tools/docs_check.py``).
 The check is textual on purpose: a symbol counts as documented when its name
@@ -19,6 +20,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import repro  # noqa: E402  (path bootstrap above)
+import repro.cache  # noqa: E402
 import repro.coordl  # noqa: E402
 import repro.sim  # noqa: E402
 
@@ -27,6 +29,7 @@ CHECKED_SURFACES = (
     ("repro", repro),
     ("repro.sim", repro.sim),
     ("repro.coordl", repro.coordl),
+    ("repro.cache", repro.cache),
 )
 
 
