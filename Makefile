@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-workers bench bench-smoke bench-parallel docs-check check
+.PHONY: test test-workers bench bench-json bench-smoke bench-parallel \
+        docs-check store-check check
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -16,8 +17,14 @@ test-workers:
 	REPRO_SWEEP_WORKERS=2 $(PYTHON) -m pytest -x -q tests
 
 ## Reproduce the paper's tables/figures and the sweep-speed benchmarks.
+## Writes machine-readable per-grid results to BENCH_sweep.json in the
+## repo root (locally and in CI alike).
 bench:
 	$(PYTHON) -m pytest -q benchmarks -s
+
+## Alias: regenerate BENCH_sweep.json from just the sweep-speed gates
+## (smoke + parallel) without the full table/figure benchmarks.
+bench-json: bench-smoke bench-parallel
 
 ## Quick benchmark smoke: the vectorised-vs-reference sweep speed gates
 ## (Fig. 3, Fig. 9b, and the warm/thrashing segmented-LRU kernel gate) —
@@ -34,9 +41,18 @@ bench-parallel:
 	$(PYTHON) -m pytest -q -s -k "parallel" benchmarks/test_sweep_speed.py
 
 ## Verify every public __all__ symbol (repro, repro.sim, repro.coordl,
-## repro.cache) is documented in docs/API.md.
+## repro.cache, repro.store) is documented in docs/API.md.
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
-## Everything the CI gate runs.
-check: test docs-check bench-smoke
+## Result-store round-trip gate: cold grid run populates the store, warm
+## run must be all hits, zero simulations and byte-identical; store stats
+## land in BENCH_store.json (repo root).
+store-check:
+	$(PYTHON) tools/store_check.py
+
+## Everything the CI gate's main leg runs (the parallel-workers and store
+## legs add `make test-workers bench-smoke bench-parallel` under
+## REPRO_SWEEP_WORKERS=2 and `make test store-check` under
+## REPRO_SWEEP_STORE respectively).
+check: test docs-check bench-smoke store-check

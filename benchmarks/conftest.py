@@ -11,9 +11,10 @@ calibrate with many repetitions.
 
 The sweep-speed gates additionally record machine-readable results through
 the :func:`bench_report` fixture; at session end they are written to
-``benchmarks/BENCH_sweep.json`` (per-grid wall-clock, speedup and point
-counts) so the performance trajectory is tracked across PRs — CI uploads
-the file as a build artifact.
+``BENCH_sweep.json`` in the repository root (per-grid wall-clock, speedup
+and point counts) so the performance trajectory is tracked across PRs the
+same way locally and in CI — CI uploads the file as a build artifact, and
+``make bench`` / ``make bench-json`` leave it next to the Makefile.
 """
 
 from __future__ import annotations
@@ -28,9 +29,10 @@ import pytest
 
 from repro.experiments.base import ExperimentResult
 
-#: Where the machine-readable sweep benchmark results land (gitignored;
-#: uploaded as a CI artifact).
-BENCH_REPORT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_sweep.json"
+#: Where the machine-readable sweep benchmark results land: the repository
+#: root, both locally and in CI (gitignored; uploaded as a CI artifact).
+BENCH_REPORT_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                     / "BENCH_sweep.json")
 
 
 class BenchReport:

@@ -13,7 +13,9 @@ The library has three layers:
   DALI / native-PyTorch baselines in :mod:`repro.pipeline`;
 * **scenarios** — the pipelined epoch simulator and the single-server,
   distributed-training and HP-search drivers (:mod:`repro.sim`), plus one
-  module per paper figure/table in :mod:`repro.experiments`.
+  module per paper figure/table in :mod:`repro.experiments`, all memoisable
+  through the content-addressed sweep result store and persistent worker
+  pool (:mod:`repro.store`).
 """
 
 from repro.cluster import config_hdd_1080ti, config_ssd_v100, get_server_config
@@ -31,6 +33,7 @@ from repro.sim import (
     SweepResult,
     SweepRunner,
 )
+from repro.store import PersistentPool, SweepStore
 
 __version__ = "1.0.0"
 
@@ -57,4 +60,6 @@ __all__ = [
     "SweepRunner",
     "SweepPoint",
     "SweepResult",
+    "SweepStore",
+    "PersistentPool",
 ]

@@ -10,6 +10,13 @@ any Python:
   — DS-Analyzer profile + bottleneck classification + cache recommendation.
 * ``python -m repro report -o EXPERIMENTS.md`` — regenerate the full
   paper-vs-measured report.
+* ``python -m repro store stats`` — inspect/manage the content-addressed
+  sweep result store (also ``gc``, ``invalidate``).
+
+``run-experiment`` and ``report`` accept ``--store DIR`` (memoise every
+sweep point on disk; a warm re-run reduces to store reads) and
+``--no-store``; with neither flag the ``REPRO_SWEEP_STORE`` environment
+variable supplies the default store directory.
 """
 
 from __future__ import annotations
@@ -26,9 +33,11 @@ from repro.dsanalyzer.predictor import DataStallPredictor
 from repro.dsanalyzer.profiler import DSAnalyzerProfiler
 from repro.dsanalyzer.report import format_recommendation, summarize
 from repro.dsanalyzer.whatif import optimal_cache_fraction
+from repro.exceptions import ConfigurationError
 from repro.experiments import registry
 from repro.experiments.base import SWEEP_SCALE
 from repro.experiments.report_generator import generate
+from repro.store import STORE_ENV_VAR, StoreArg, SweepStore, resolve_store
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,6 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the experiment's sweep grid "
                           "(default: REPRO_SWEEP_WORKERS or serial; results "
                           "are identical for every value)")
+    _add_store_flags(run)
 
     profile = sub.add_parser("profile", help="DS-Analyzer profile for a model")
     profile.add_argument("model", help="model name, e.g. resnet18")
@@ -65,7 +75,46 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", type=float, default=SWEEP_SCALE)
     report.add_argument("--workers", type=int, default=None,
                         help="worker processes for the sweep-backed experiments")
+    _add_store_flags(report)
+
+    store = sub.add_parser(
+        "store", help="manage the content-addressed sweep result store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    stats = store_sub.add_parser("stats", help="entry count and byte totals")
+    gc = store_sub.add_parser("gc", help="prune oldest entries to a budget")
+    gc.add_argument("--max-entries", type=int, default=None,
+                    help="keep at most this many entries")
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    help="keep at most this many bytes of entries")
+    invalidate = store_sub.add_parser(
+        "invalidate", help="drop entries (all, or by key prefix) to force "
+                           "re-simulation, e.g. after simulator changes")
+    invalidate.add_argument("--prefix", default="",
+                            help="only drop keys starting with this hex prefix")
+    for command in (stats, gc, invalidate):
+        command.add_argument("--store", dest="store_dir", default=None,
+                             help=f"store directory (default: ${STORE_ENV_VAR})")
     return parser
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """``--store DIR`` / ``--no-store`` on the sweep-running commands."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--store", dest="store_dir", default=None,
+                       help="content-addressed result store directory: "
+                            "already-simulated sweep points are rehydrated "
+                            "byte-identically instead of recomputed "
+                            f"(default: ${STORE_ENV_VAR} when set)")
+    group.add_argument("--no-store", action="store_true",
+                       help=f"disable the result store even when "
+                            f"${STORE_ENV_VAR} is set")
+
+
+def _store_arg(args: argparse.Namespace) -> StoreArg:
+    """Normalise the parsed store flags to a ``store=`` argument."""
+    if getattr(args, "no_store", False):
+        return False
+    return args.store_dir  # None falls through to the env-var default
 
 
 def _cmd_list_experiments() -> int:
@@ -75,7 +124,7 @@ def _cmd_list_experiments() -> int:
 
 
 def _cmd_run_experiment(experiment_id: str, scale: float,
-                        workers: Optional[int]) -> int:
+                        workers: Optional[int], store: StoreArg) -> int:
     kwargs = {} if experiment_id == "fig8" else {"scale": scale}
     if workers is not None:
         if not registry.accepts_kwarg(experiment_id, "workers"):
@@ -83,6 +132,12 @@ def _cmd_run_experiment(experiment_id: str, scale: float,
                   "ignoring --workers", file=sys.stderr)
         else:
             kwargs["workers"] = workers
+    if store is not None:
+        if not registry.accepts_kwarg(experiment_id, "store"):
+            print(f"{experiment_id} has no sweep grid to memoise; "
+                  "ignoring --store/--no-store", file=sys.stderr)
+        else:
+            kwargs["store"] = store
     result = registry.run_experiment(experiment_id, **kwargs)
     print(result.format_table())
     return 0
@@ -101,9 +156,38 @@ def _cmd_profile(model_name: str, dataset_name: str, server_name: str,
     return 0
 
 
-def _cmd_report(output: str, scale: float, workers: Optional[int]) -> int:
-    generate(output, scale, workers=workers)
+def _cmd_report(output: str, scale: float, workers: Optional[int],
+                store: StoreArg) -> int:
+    generate(output, scale, workers=workers, store=store)
     print(f"wrote {output}")
+    return 0
+
+
+def _open_store(store_dir: Optional[str]) -> SweepStore:
+    """Open the store named by ``--store`` or the environment; else fail."""
+    store = resolve_store(store_dir)  # None falls back to $REPRO_SWEEP_STORE
+    if store is None:
+        raise ConfigurationError(
+            f"no store directory: pass --store DIR or set ${STORE_ENV_VAR}")
+    return store
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = _open_store(args.store_dir)
+    if args.store_command == "stats":
+        stats = store.stats()
+        print(f"store {stats.directory}: {stats.entries} entries, "
+              f"{stats.total_bytes:,} bytes")
+    elif args.store_command == "gc":
+        removed = store.gc(max_entries=args.max_entries,
+                           max_bytes=args.max_bytes)
+        stats = store.stats()
+        print(f"gc removed {removed} entries; {stats.entries} entries, "
+              f"{stats.total_bytes:,} bytes remain")
+    else:  # invalidate (argparse enforces the choices)
+        removed = store.invalidate(prefix=args.prefix)
+        what = f"prefix {args.prefix!r}" if args.prefix else "all entries"
+        print(f"invalidated {removed} entries ({what})")
     return 0
 
 
@@ -113,12 +197,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list-experiments":
         return _cmd_list_experiments()
     if args.command == "run-experiment":
-        return _cmd_run_experiment(args.experiment_id, args.scale, args.workers)
+        return _cmd_run_experiment(args.experiment_id, args.scale, args.workers,
+                                   _store_arg(args))
     if args.command == "profile":
         return _cmd_profile(args.model, args.dataset, args.server,
                             args.cache, args.scale, args.gpu_prep)
     if args.command == "report":
-        return _cmd_report(args.output, args.scale, args.workers)
+        return _cmd_report(args.output, args.scale, args.workers,
+                           _store_arg(args))
+    if args.command == "store":
+        return _cmd_store(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

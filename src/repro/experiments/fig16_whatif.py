@@ -19,6 +19,7 @@ from repro.dsanalyzer.profiler import DSAnalyzerProfiler
 from repro.dsanalyzer.whatif import optimal_cache_fraction
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE
 from repro.sim.sweep import SweepRunner
+from repro.store import StoreArg
 
 DEFAULT_FRACTIONS = (0.0, 0.2, 0.4, 0.55, 0.7, 0.85, 1.0)
 
@@ -26,7 +27,8 @@ DEFAULT_FRACTIONS = (0.0, 0.2, 0.4, 0.55, 0.7, 0.85, 1.0)
 def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
         dataset_name: str = "imagenet-1k",
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
-        seed: int = 0, workers: Optional[int] = None) -> ExperimentResult:
+        seed: int = 0, workers: Optional[int] = None,
+        store: StoreArg = None) -> ExperimentResult:
     """Reproduce the cache-size what-if sweep of Fig. 16."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     dataset = runner.dataset(dataset_name)
@@ -37,7 +39,7 @@ def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
     # The empirical curve is a plain cache-fraction sweep of the simulator.
     sweep = runner.run(SweepRunner.grid(
         models=[model], loaders=["coordl"], cache_fractions=fractions,
-        dataset=dataset_name, gpu_prep=False), workers=workers)
+        dataset=dataset_name, gpu_prep=False), workers=workers, store=store)
 
     result = ExperimentResult(
         experiment_id="fig16",

@@ -18,6 +18,7 @@ from typing import Dict
 
 from repro.experiments import registry
 from repro.experiments.base import SWEEP_SCALE
+from repro.store import StoreArg
 
 #: What the paper reports for each experiment, quoted/condensed from the text.
 PAPER_EXPECTATIONS: Dict[str, str] = {
@@ -109,12 +110,15 @@ KNOWN_DEVIATIONS: Dict[str, str] = {
 
 
 def generate(output_path: str = "EXPERIMENTS.md", scale: float = SWEEP_SCALE,
-             workers: "int | None" = None) -> str:
+             workers: "int | None" = None, store: StoreArg = None) -> str:
     """Run every experiment and write the markdown report; returns the text.
 
     ``workers`` fans each sweep-backed experiment's grid out over that many
     processes (byte-identical results; experiments without a sweep grid
-    ignore it).
+    ignore it).  ``store`` memoises every sweep point in a content-addressed
+    result store (a :class:`repro.store.SweepStore` or directory path;
+    ``None`` reads ``REPRO_SWEEP_STORE``, ``False`` disables): a warm
+    second ``generate`` reduces to near-pure store reads.
     """
     lines = [
         "# EXPERIMENTS — paper vs. measured",
@@ -134,6 +138,8 @@ def generate(output_path: str = "EXPERIMENTS.md", scale: float = SWEEP_SCALE,
         kwargs = {} if experiment_id == "fig8" else {"scale": scale}
         if workers is not None and registry.accepts_kwarg(experiment_id, "workers"):
             kwargs["workers"] = workers
+        if store is not None and registry.accepts_kwarg(experiment_id, "store"):
+            kwargs["store"] = store
         result = registry.run_experiment(experiment_id, **kwargs)
         elapsed = time.time() - start
         lines.append(f"## {result.title}")

@@ -20,6 +20,7 @@ from repro.dsanalyzer.predictor import DataStallPredictor
 from repro.dsanalyzer.profiler import DSAnalyzerProfiler
 from repro.experiments.base import DEFAULT_SCALE, ExperimentResult
 from repro.sim.sweep import SweepRunner
+from repro.store import StoreArg
 
 DEFAULT_FRACTIONS = (0.25, 0.35, 0.5)
 
@@ -27,7 +28,8 @@ DEFAULT_FRACTIONS = (0.25, 0.35, 0.5)
 def run(scale: float = DEFAULT_SCALE, model: ModelSpec = ALEXNET,
         dataset_name: str = "imagenet-1k",
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
-        seed: int = 0, workers: Optional[int] = None) -> ExperimentResult:
+        seed: int = 0, workers: Optional[int] = None,
+        store: StoreArg = None) -> ExperimentResult:
     """Reproduce the predicted-vs-empirical comparison of Table 5."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     dataset = runner.dataset(dataset_name)
@@ -35,7 +37,7 @@ def run(scale: float = DEFAULT_SCALE, model: ModelSpec = ALEXNET,
     predictor = DataStallPredictor(profiler.profile())
     sweep = runner.run(SweepRunner.grid(
         models=[model], loaders=["coordl"], cache_fractions=fractions,
-        dataset=dataset_name, gpu_prep=False), workers=workers)
+        dataset=dataset_name, gpu_prep=False), workers=workers, store=store)
 
     result = ExperimentResult(
         experiment_id="tab5",

@@ -33,6 +33,16 @@ results are reassembled in input order, so the parallel
 :class:`SweepResult` is byte-identical to the serial one (asserted by the
 golden and property tests in ``tests/test_golden_sweeps.py`` /
 ``tests/test_sweep_parallel.py``).
+
+The same canonicalisation discipline powers the content-addressed result
+store (:mod:`repro.store`): :meth:`SweepRunner.point_spec` renders the
+(runner, point, env-flag) identity of a simulation, the store keys the
+record's fully-invertible snapshot (:meth:`SweepRecord.snapshot` with
+embedded timelines, inverted by :meth:`SweepRecord.from_snapshot`) under a
+BLAKE2 digest of it, and :meth:`SweepRunner.run` partitions a grid into
+store hits (rehydrated, byte-identical) and misses (simulated — serially,
+through a per-call spawn pool, or through a long-lived
+:class:`repro.store.PersistentPool` — then written back).
 """
 
 from __future__ import annotations
@@ -43,12 +53,18 @@ import math
 import multiprocessing
 import os
 import pickle
+import sys
 import traceback
 from dataclasses import dataclass, fields
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator,
+                    List, Optional, Sequence, Tuple)
 
+if TYPE_CHECKING:  # repro.store imports this module; annotation-only here
+    from repro.store import PersistentPool, StoreArg
+
+from repro.cache.warm_kernel import warm_kernel_enabled
 from repro.cluster.server import ServerConfig
-from repro.compute.model_zoo import ModelSpec
+from repro.compute.model_zoo import ModelSpec, get_model
 from repro.datasets.catalog import get_dataset_spec
 from repro.datasets.dataset import SyntheticDataset
 from repro.datasets.sampler import CachingSampler, RandomSampler, Sampler
@@ -195,18 +211,30 @@ def _hex(value: float) -> str:
     return float(value).hex()
 
 
-def _io_snapshot(io: IOStats) -> Dict[str, Any]:
+def _canonical(value: Any) -> Any:
+    """JSON-stable scalar for store-key specs (floats byte-exact)."""
+    # bool before float: isinstance(True, int) but bools are JSON-stable.
+    if isinstance(value, bool) or not isinstance(value, float):
+        return value
+    return _hex(value)
+
+
+def _io_snapshot(io: IOStats, include_timeline: bool = False) -> Dict[str, Any]:
     """Canonical byte-exact form of one epoch's I/O counters.
 
     The (possibly long) per-read disk timeline is folded into a digest: two
     timelines agree on the digest iff they agree sample-for-sample on the
     exact float bits, which keeps golden files small without weakening the
-    byte-identical guarantee.
+    byte-identical guarantee.  ``include_timeline`` additionally embeds the
+    raw ``(time, bytes)`` samples in hex form — the self-contained variant
+    the result store persists so a hit can be rehydrated losslessly
+    (:meth:`SweepRecord.from_snapshot`); the digest form alone cannot be
+    inverted.
     """
     digest = hashlib.blake2b(digest_size=16)
     for t, b in io.timeline:
         digest.update(f"{_hex(t)}:{_hex(b)};".encode("ascii"))
-    return {
+    data: Dict[str, Any] = {
         "disk_bytes": _hex(io.disk_bytes),
         "disk_requests": io.disk_requests,
         "cache_bytes": _hex(io.cache_bytes),
@@ -216,9 +244,39 @@ def _io_snapshot(io: IOStats) -> Dict[str, Any]:
         "timeline_len": len(io.timeline),
         "timeline_digest": digest.hexdigest(),
     }
+    if include_timeline:
+        # Same rendering the digest hashes: one compact delimited string
+        # parses several times faster than nested JSON arrays and keeps
+        # store entries ~40% smaller.
+        data["timeline"] = ";".join(f"{_hex(t)}:{_hex(b)}"
+                                    for t, b in io.timeline)
+    return data
 
 
-def _epoch_snapshot(stats: EpochStats) -> Dict[str, Any]:
+def _io_from_snapshot(data: Dict[str, Any]) -> IOStats:
+    """Inverse of :func:`_io_snapshot` (requires the embedded timeline)."""
+    if data.get("timeline_len", 0) and "timeline" not in data:
+        raise ConfigurationError(
+            "I/O snapshot carries only the timeline digest; rehydration needs "
+            "the full-timeline form (snapshot(include_timeline=True))")
+    io = IOStats(
+        disk_bytes=float.fromhex(data["disk_bytes"]),
+        disk_requests=int(data["disk_requests"]),
+        cache_bytes=float.fromhex(data["cache_bytes"]),
+        cache_requests=int(data["cache_requests"]),
+        remote_bytes=float.fromhex(data["remote_bytes"]),
+        remote_requests=int(data["remote_requests"]),
+    )
+    fromhex = float.fromhex
+    io.timeline = [(fromhex(t), fromhex(b))
+                   for t, _, b in (sample.partition(":") for sample
+                                   in data.get("timeline", "").split(";")
+                                   if sample)]
+    return io
+
+
+def _epoch_snapshot(stats: EpochStats,
+                    include_timeline: bool = False) -> Dict[str, Any]:
     """Canonical byte-exact form of one :class:`EpochStats`."""
     return {
         "epoch_time_s": _hex(stats.epoch_time_s),
@@ -227,8 +285,21 @@ def _epoch_snapshot(stats: EpochStats) -> Dict[str, Any]:
         "samples": stats.samples,
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
-        "io": _io_snapshot(stats.io),
+        "io": _io_snapshot(stats.io, include_timeline),
     }
+
+
+def _epoch_from_snapshot(data: Dict[str, Any]) -> EpochStats:
+    """Inverse of :func:`_epoch_snapshot`."""
+    return EpochStats(
+        epoch_time_s=float.fromhex(data["epoch_time_s"]),
+        gpu_time_s=float.fromhex(data["gpu_time_s"]),
+        prep_limited_time_s=float.fromhex(data["prep_limited_time_s"]),
+        samples=int(data["samples"]),
+        io=_io_from_snapshot(data["io"]),
+        cache_hits=int(data["cache_hits"]),
+        cache_misses=int(data["cache_misses"]),
+    )
 
 
 @dataclass
@@ -303,13 +374,19 @@ class SweepRecord:
             )
         return values
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, include_timeline: bool = False) -> Dict[str, Any]:
         """Canonical, byte-exact, JSON-serialisable form of this record.
 
         Floats are rendered with :meth:`float.hex` (lossless), so two
         snapshots compare equal **iff** the underlying results are
         bit-identical.  This is what the golden regression tests and the
         serial-vs-parallel determinism tests diff.
+
+        With ``include_timeline`` the per-read disk timelines are embedded
+        sample by sample (hex floats) instead of digest-only, which makes
+        the snapshot fully invertible — :meth:`from_snapshot` rehydrates a
+        bit-identical record from it.  The result store persists this form;
+        the committed goldens keep the compact digest-only default.
         """
         point = {
             f.name: (self.point.model.name if f.name == "model"
@@ -322,7 +399,8 @@ class SweepRecord:
             "loader_name": self.loader_name,
         }
         if self.run is not None:
-            data["epochs"] = [_epoch_snapshot(e) for e in self.run.epochs]
+            data["epochs"] = [_epoch_snapshot(e, include_timeline)
+                              for e in self.run.epochs]
         if self.hp is not None:
             data["hp"] = {
                 "loader_name": self.hp.loader_name,
@@ -339,10 +417,65 @@ class SweepRecord:
             }
         if self.dist is not None:
             data["dist"] = [
-                [_epoch_snapshot(server) for server in epoch.per_server]
+                [_epoch_snapshot(server, include_timeline)
+                 for server in epoch.per_server]
                 for epoch in self.dist.epochs
             ]
         return data
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Any]) -> "SweepRecord":
+        """Rehydrate a record from :meth:`snapshot(include_timeline=True)`.
+
+        The inverse is exact: floats come back bit for bit from their hex
+        form, the model is resolved by name from the zoo, and the disk
+        timelines are rebuilt from the embedded samples — so
+        ``SweepRecord.from_snapshot(r.snapshot(include_timeline=True))``
+        snapshots byte-identically to ``r``.  A digest-only snapshot with a
+        non-empty timeline cannot be inverted and raises
+        :class:`~repro.exceptions.ConfigurationError` (the store never
+        writes that form).
+
+        The model resolves through the zoo by name, so records simulated
+        under a *custom* :class:`ModelSpec` rehydrate to the zoo spec (or
+        fail for non-zoo names); the store's point guard rejects both
+        cases as misses — custom-model sweeps stay correct but never warm.
+        (They can never be *served wrongly* either: the content address
+        covers every ``ModelSpec`` field, not just the name.)
+        """
+        point_data = dict(data["point"])
+        model = get_model(point_data.pop("model"))
+        point = SweepPoint(model=model, **point_data)
+        record = cls(point=point, dataset_name=data["dataset"],
+                     loader_name=data["loader_name"])
+        if "epochs" in data:
+            run = TrainingRunStats()
+            for epoch in data["epochs"]:
+                run.add(_epoch_from_snapshot(epoch))
+            record.run = run
+        if "hp" in data:
+            hp = data["hp"]
+            record.hp = HPSearchResult(
+                loader_name=hp["loader_name"],
+                num_jobs=int(hp["num_jobs"]),
+                gpus_per_job=int(hp["gpus_per_job"]),
+                epoch_time_s=float.fromhex(hp["epoch_time_s"]),
+                per_job_throughput=float.fromhex(hp["per_job_throughput"]),
+                disk_bytes_per_epoch=float.fromhex(hp["disk_bytes_per_epoch"]),
+                cache_miss_ratio=float.fromhex(hp["cache_miss_ratio"]),
+                prep_bound=bool(hp["prep_bound"]),
+                fetch_bound=bool(hp["fetch_bound"]),
+                gpu_bound=bool(hp["gpu_bound"]),
+                staging_peak_bytes=float.fromhex(hp["staging_peak_bytes"]),
+            )
+        if "dist" in data:
+            record.dist = DistributedResult(
+                loader_name=data["loader_name"],
+                epochs=[DistributedEpoch(per_server=[
+                    _epoch_from_snapshot(server) for server in epoch])
+                    for epoch in data["dist"]],
+            )
+        return record
 
 
 class SweepResult:
@@ -411,18 +544,30 @@ class SweepRunner:
         queue_depth: Prefetch queue depth of the simulated pipeline.
         fast_path: Allow the vectorised epoch collection (disable to force
             the per-batch reference path, e.g. for benchmarking it).
+        dataset_cache / sampler_cache: Optional externally-owned memo dicts
+            for the shared substrates.  Datasets key by ``(name, seed,
+            scale)`` and samplers by ``(dataset size, sampling seed)``, so
+            one process-wide dict can be shared safely across runners —
+            which is how :class:`repro.store.PersistentPool` workers avoid
+            rematerialising datasets across successive ``run()`` calls and
+            runner configurations.  ``None`` keeps a private per-runner
+            cache (the default, and the previous behaviour).
     """
 
     def __init__(self, server_factory: Callable[..., ServerConfig], *,
                  scale: float = 1.0, seed: int = 0, queue_depth: int = 4,
-                 fast_path: bool = True) -> None:
+                 fast_path: bool = True,
+                 dataset_cache: Optional[Dict[Tuple[str, int, float],
+                                              SyntheticDataset]] = None,
+                 sampler_cache: Optional[Dict[Tuple[int, int],
+                                              Sampler]] = None) -> None:
         self._server_factory = server_factory
         self._scale = scale
         self._seed = seed
         self._queue_depth = queue_depth
         self._fast_path = fast_path
-        self._datasets: Dict[str, SyntheticDataset] = {}
-        self._samplers: Dict[Tuple[int, int], Sampler] = {}
+        self._datasets = {} if dataset_cache is None else dataset_cache
+        self._samplers = {} if sampler_cache is None else sampler_cache
 
     @staticmethod
     def grid(models: Sequence[ModelSpec], loaders: Sequence[str],
@@ -445,12 +590,19 @@ class SweepRunner:
     # -- shared substrate construction --------------------------------------
 
     def dataset(self, name: str) -> SyntheticDataset:
-        """Materialise (once) the scaled dataset of the given catalog name."""
-        cached = self._datasets.get(name)
+        """Materialise (once) the scaled dataset of the given catalog name.
+
+        Keyed by ``(name, seed, scale)`` so the memo dict stays correct
+        when shared across runners (see ``dataset_cache``); for a private
+        cache the seed/scale components are constant and the behaviour is
+        the old per-name memoisation.
+        """
+        key = (name, self._seed, self._scale)
+        cached = self._datasets.get(key)
         if cached is None:
             cached = SyntheticDataset(get_dataset_spec(name), seed=self._seed,
                                       scale=self._scale)
-            self._datasets[name] = cached
+            self._datasets[key] = cached
         return cached
 
     def point_seed(self, point: SweepPoint) -> int:
@@ -503,10 +655,106 @@ class SweepRunner:
             server = self._server_factory()
         return dataset, server
 
+    # -- content-addressed identity ------------------------------------------
+
+    def spec(self) -> tuple:
+        """Picklable runner configuration (enough to rebuild this runner).
+
+        Workers — the per-``run()`` spawn pool and
+        :class:`repro.store.PersistentPool` alike — reconstruct an
+        equivalent runner from exactly this tuple, so anything that can
+        change a simulated bit must be in it.
+        """
+        return (self._server_factory, self._scale, self._seed,
+                self._queue_depth, self._fast_path)
+
+    def point_spec(self, point: SweepPoint) -> Dict[str, Any]:
+        """Canonical, JSON-stable identity of one (runner, point) pairing.
+
+        This is what the result store hashes into a content address
+        (:func:`repro.store.store_key`).  It extends :meth:`point_seed`'s
+        canonicalisation discipline — a pure function of configuration,
+        independent of grid position, scheduling and worker count — to
+        *every* input that can move a simulated bit:
+
+        * the runner spec (server factory by qualified name — see
+          :meth:`_factory_identity` for why that is safe — plus scale,
+          seed, queue depth and the ``fast_path`` toggle),
+        * the full point spec: all :class:`SweepPoint` fields, the model
+          expanded to *every* :class:`ModelSpec` field — not just its name,
+          so a custom spec reusing a zoo name can never share an address
+          with the zoo model — and ``label`` (it is part of the record's
+          byte-exact snapshot), and
+        * result-affecting environment kill-switches — currently the warm
+          segmented-LRU kernel toggle.  The kernel is byte-exact either
+          way, but a store must never answer a query for one configuration
+          with bytes computed under another, so the flag keys the entry.
+
+        Floats are rendered with :meth:`float.hex` so the identity is as
+        byte-exact as the snapshots it addresses.  ``REPRO_SWEEP_WORKERS``
+        deliberately does **not** participate: worker count is proven not
+        to change results (the golden tests), so serial and pooled runs
+        share entries.
+        """
+        point_fields: Dict[str, Any] = {}
+        for f in fields(SweepPoint):
+            value = getattr(point, f.name)
+            if f.name == "model":
+                value = {mf.name: _canonical(getattr(point.model, mf.name))
+                         for mf in fields(ModelSpec)}
+            else:
+                value = _canonical(value)
+            point_fields[f.name] = value
+        return {
+            "runner": {
+                "server_factory": self._factory_identity(),
+                "scale": _hex(self._scale),
+                "seed": self._seed,
+                "queue_depth": self._queue_depth,
+                "fast_path": bool(self._fast_path),
+            },
+            "point": point_fields,
+            "env": {"warm_kernel": warm_kernel_enabled()},
+        }
+
+    def _factory_identity(self) -> str:
+        """``module:qualname`` of the server factory, proven resolvable.
+
+        Naming the factory is only a sound content address if the name
+        uniquely identifies the behaviour — which holds exactly when the
+        name resolves back to *this* object (a module-level function, the
+        same constraint pickling already imposes for ``workers > 0``).
+        Closures, lambdas and ``functools.partial`` objects fail that
+        round-trip (two ``make(100)``/``make(500)`` closures would share a
+        qualified name and silently cross-serve bytes), so they are
+        rejected loudly rather than mis-keyed.  Memoised per runner.
+        """
+        cached = getattr(self, "_factory_token", None)
+        if cached is not None:
+            return cached
+        factory = self._server_factory
+        module = getattr(factory, "__module__", None)
+        qualname = getattr(factory, "__qualname__", None)
+        resolved: Any = sys.modules.get(module) if module else None
+        if qualname is not None and "<locals>" not in qualname:
+            for part in qualname.split("."):
+                resolved = getattr(resolved, part, None)
+        else:
+            resolved = None
+        if resolved is not factory:
+            raise ConfigurationError(
+                f"result-store keying needs a module-level server factory "
+                f"whose qualified name resolves back to it; got {factory!r} "
+                f"(a closure, lambda, partial or shadowed name) — pass "
+                f"store=False or lift the factory to module level")
+        self._factory_token = f"{module}:{qualname}"
+        return self._factory_token
+
     # -- execution ----------------------------------------------------------
 
     def run(self, points: Iterable[SweepPoint], workers: Optional[int] = None,
-            chunksize: Optional[int] = None) -> SweepResult:
+            chunksize: Optional[int] = None, store: "StoreArg" = None,
+            pool: Optional["PersistentPool"] = None) -> SweepResult:
         """Simulate every point and return the tidy result table.
 
         Args:
@@ -517,20 +765,81 @@ class SweepRunner:
                 ``0``.  Results are byte-identical for every value.
             chunksize: Points pickled to a worker per task (default: grid
                 split into about four chunks per worker).
+            store: Content-addressed result store
+                (:class:`repro.store.SweepStore`, or a directory path).
+                Points whose key is already stored are rehydrated instead
+                of simulated; newly simulated points are written back.
+                ``None`` reads the :data:`repro.store.STORE_ENV_VAR`
+                environment variable (no store when unset); ``False``
+                disables the store even when the variable is set.  Results
+                are byte-identical with and without a store.
+            pool: A :class:`repro.store.PersistentPool` whose workers
+                outlive this call.  Takes precedence over ``workers`` for
+                the points that actually need simulating; store hits never
+                touch the pool.
 
         Raises:
             SweepPointError: A point failed to simulate.  The failing
                 point's label/description is in the message and the
                 original exception — re-raised from a worker when the point
-                ran in one — is chained as ``__cause__``.
+                ran in one — is chained as ``__cause__``.  Failed points
+                are never written to the store, but points that finished
+                *before* the failure (or an interruption) already are —
+                the retry resumes from them.
         """
+        from repro.store import resolve_store  # local: repro.store imports us
+
         points = list(points)
         workers = self._resolve_workers(workers)
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError("chunksize must be at least 1")
-        if workers == 0 or len(points) <= 1:
-            return SweepResult([self._run_point_guarded(p) for p in points])
-        return SweepResult(self._run_parallel(points, workers, chunksize))
+        records: List[Optional[SweepRecord]] = [None] * len(points)
+        sweep_store = resolve_store(store)
+        if sweep_store is not None:
+            try:
+                self._factory_identity()
+            except ConfigurationError:
+                # An *ambient* store (the REPRO_SWEEP_STORE default) must
+                # not break runners the store cannot key — closure/lambda
+                # factories simulated fine before the store existed, so
+                # they simply bypass it.  An explicitly requested store
+                # still fails loudly: the caller asked for memoisation the
+                # runner cannot soundly get.
+                if store is not None:
+                    raise
+                sweep_store = None
+        keys: List[Optional[str]] = [None] * len(points)
+        to_run = list(enumerate(points))
+        if sweep_store is not None:
+            to_run = []
+            for index, point in enumerate(points):
+                keys[index] = sweep_store.key_for(self, point)
+                hit = sweep_store.get(keys[index], point)
+                if hit is None:
+                    to_run.append((index, point))
+                else:
+                    records[index] = hit
+
+        def commit(index: int, record: SweepRecord) -> None:
+            # Called as each simulation completes (not after the whole
+            # grid), so a failing point or an interrupted run keeps every
+            # already-finished point in the store: the retry resumes
+            # instead of re-paying the full grid.
+            records[index] = record
+            if sweep_store is not None:
+                sweep_store.put(keys[index], record)
+
+        if to_run:
+            if pool is not None:
+                pool.run_points(self.spec(), to_run, chunksize,
+                                on_record=commit)
+            elif workers == 0 or len(to_run) <= 1:
+                for index, point in to_run:
+                    commit(index, self._run_point_guarded(point))
+            else:
+                self._run_parallel(to_run, workers, chunksize,
+                                   on_record=commit)
+        return SweepResult(records)  # type: ignore[arg-type]  # all slots filled
 
     def _resolve_workers(self, workers: Optional[int]) -> int:
         if workers is None:
@@ -553,43 +862,43 @@ class SweepRunner:
         except Exception as exc:
             raise _point_error(point, exc) from exc
 
-    def _run_parallel(self, points: List[SweepPoint], workers: int,
-                      chunksize: Optional[int]) -> List[SweepRecord]:
-        """Fan the points out over a spawn pool; reassemble in input order.
+    def _run_parallel(self, indexed_points: List[Tuple[int, SweepPoint]],
+                      workers: int, chunksize: Optional[int],
+                      on_record: Optional[Callable[[int, SweepRecord], None]]
+                      = None) -> List[Tuple[int, SweepRecord]]:
+        """Fan indexed points out over a spawn pool, one pool per call.
 
         ``spawn`` (never ``fork``) is used on every platform: workers start
         from a clean interpreter and rebuild datasets/samplers from the
         pickled runner configuration, so no shared mutable substrate state
         can leak across processes and the execution model is identical on
-        Linux/macOS/Windows.
+        Linux/macOS/Windows.  (For worker reuse across calls, pass a
+        :class:`repro.store.PersistentPool` to :meth:`run` instead.)
+
+        ``on_record`` is invoked per record in completion order while the
+        pool drains (the store write-back hook), including before a
+        failure is eventually raised.
         """
-        workers = min(workers, len(points))
+        workers = min(workers, len(indexed_points))
         if chunksize is None:
-            chunksize = max(1, math.ceil(len(points) / (workers * 4)))
-        spec = (self._server_factory, self._scale, self._seed,
-                self._queue_depth, self._fast_path)
+            chunksize = max(1, math.ceil(len(indexed_points) / (workers * 4)))
         context = multiprocessing.get_context("spawn")
-        records: List[Optional[SweepRecord]] = [None] * len(points)
+        ran: List[Tuple[int, SweepRecord]] = []
         failures: Dict[int, tuple] = {}
         with context.Pool(workers, initializer=_init_sweep_worker,
-                          initargs=(spec,)) as pool:
+                          initargs=(self.spec(),)) as pool:
             results = pool.imap_unordered(_run_sweep_point_task,
-                                          list(enumerate(points)), chunksize)
-            # Drain everything before raising: imap_unordered yields in
-            # completion order, so raising on the first failure seen would
-            # name a scheduling-dependent point.  Raising for the lowest
-            # failing input index reports exactly the point a serial run
-            # would have raised for.
+                                          list(indexed_points), chunksize)
             for index, record, failure in results:
                 if failure is not None:
                     failures[index] = failure
                 else:
-                    records[index] = record
+                    if on_record is not None:
+                        on_record(index, record)
+                    ran.append((index, record))
         if failures:
-            index = min(failures)
-            exc, child_traceback = failures[index]
-            raise _point_error(points[index], exc, child_traceback) from exc
-        return records  # type: ignore[return-value]  # every slot filled above
+            _raise_lowest_failure(failures, indexed_points)
+        return ran
 
     def _run_point(self, point: SweepPoint) -> SweepRecord:
         if point.is_hp_search:
@@ -665,6 +974,44 @@ def _point_error(point: SweepPoint, original: BaseException,
     return error
 
 
+def _raise_lowest_failure(failures: Dict[int, tuple],
+                          indexed_points: List[Tuple[int, SweepPoint]]) -> None:
+    """Raise the pooled failure a serial run would have raised.
+
+    Pools drain everything before raising: ``imap_unordered`` yields in
+    completion order, so raising on the first failure *seen* would name a
+    scheduling-dependent point.  Raising for the lowest failing input
+    index reports exactly the point a serial run would have raised for —
+    shared by the per-call pool here and :class:`repro.store.PersistentPool`
+    so the two executors cannot drift.
+    """
+    index = min(failures)
+    exc, child_traceback = failures[index]
+    raise _point_error(dict(indexed_points)[index], exc, child_traceback) from exc
+
+
+def _execute_point_task(runner: SweepRunner, index: int, point: SweepPoint):
+    """Simulate one indexed point; never raise across a pool pipe.
+
+    Failures travel back as ``(index, None, (exception, traceback_text))``
+    so the parent can re-raise the *original* exception chained under a
+    labelled :class:`SweepPointError` instead of a bare multiprocessing
+    traceback.  Exceptions that cannot survive pickling are substituted
+    with a :class:`SimulationError` carrying their repr.  Shared by both
+    pool executors' worker-side task functions.
+    """
+    try:
+        return index, runner._run_point(point), None
+    except Exception as exc:
+        text = traceback.format_exc()
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = SimulationError(
+                f"worker exception could not be pickled: {exc!r}")
+        return index, None, (exc, text)
+
+
 # -- worker-pool plumbing ----------------------------------------------------
 #
 # Spawned workers import this module fresh and keep one SweepRunner per
@@ -685,24 +1032,8 @@ def _init_sweep_worker(spec: tuple) -> None:
 
 
 def _run_sweep_point_task(task: Tuple[int, SweepPoint]):
-    """Simulate one indexed point in a worker; never raise across the pipe.
-
-    Failures travel back as ``(index, None, (exception, traceback_text))``
-    so the parent can re-raise the *original* exception chained under a
-    labelled :class:`SweepPointError` instead of a bare multiprocessing
-    traceback.  Exceptions that cannot survive pickling are substituted
-    with a :class:`SimulationError` carrying their repr.
-    """
+    """Per-call-pool worker task: delegate to :func:`_execute_point_task`."""
     index, point = task
     if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
         raise SimulationError("sweep worker used before initialisation")
-    try:
-        return index, _WORKER_RUNNER._run_point(point), None
-    except Exception as exc:
-        text = traceback.format_exc()
-        try:
-            pickle.loads(pickle.dumps(exc))
-        except Exception:
-            exc = SimulationError(
-                f"worker exception could not be pickled: {exc!r}")
-        return index, None, (exc, text)
+    return _execute_point_task(_WORKER_RUNNER, index, point)

@@ -1,0 +1,46 @@
+"""Content-addressed sweep result store and persistent worker pool.
+
+The subsystem that turns the reproduction from recompute-everything into
+serve-many-queries:
+
+* :class:`SweepStore` — an on-disk, content-addressed store of
+  :class:`~repro.sim.sweep.SweepRecord` snapshots, keyed by a BLAKE2
+  digest (:func:`store_key`) of the canonical (runner, point, env-flag)
+  identity (:meth:`~repro.sim.sweep.SweepRunner.point_spec`) plus the
+  store schema version.  A hit rehydrates a byte-identical record
+  (:meth:`~repro.sim.sweep.SweepRecord.from_snapshot`); corruption of any
+  entry degrades to a miss, never to a wrong answer.
+* :class:`PersistentPool` — a spawn worker pool that outlives individual
+  ``run()`` calls, with per-worker dataset/sampler caches shared across
+  runner configurations.
+* :func:`resolve_store` — the ``store=`` argument normaliser every
+  sweep-backed ``run`` uses (:data:`STORE_ENV_VAR` supplies the ambient
+  default; ``False`` opts out).
+
+Both halves plug into :meth:`repro.sim.sweep.SweepRunner.run` via its
+``store=`` / ``pool=`` arguments and are surfaced on the command line as
+``--store`` / ``--no-store`` plus the ``repro store`` management
+subcommands (``stats`` / ``gc`` / ``invalidate``).
+"""
+
+from repro.store.pool import PersistentPool
+from repro.store.store import (
+    STORE_ENV_VAR,
+    STORE_SCHEMA_VERSION,
+    StoreArg,
+    StoreStats,
+    SweepStore,
+    resolve_store,
+    store_key,
+)
+
+__all__ = [
+    "SweepStore",
+    "StoreStats",
+    "StoreArg",
+    "PersistentPool",
+    "resolve_store",
+    "store_key",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA_VERSION",
+]

@@ -1,0 +1,204 @@
+"""Persistent sweep worker pool: spawn once, serve many ``run()`` calls.
+
+The per-call pool inside :meth:`repro.sim.sweep.SweepRunner.run` pays the
+full spawn + import + dataset-materialisation cost on every grid, which
+dominates for the many-small-grids shape of ``report`` generation and
+what-if querying.  :class:`PersistentPool` amortises all three:
+
+* **workers outlive runs** — one spawn pool serves every
+  ``run(points, pool=...)`` call until :meth:`close` (the pool is also a
+  context manager), and the pool tracks the worker pids it has seen so
+  tests can assert reuse;
+* **per-worker substrate caches** — each worker process keeps one
+  rebuilt :class:`~repro.sim.sweep.SweepRunner` per runner spec, and all
+  of them share module-level dataset and sampler memo dicts keyed by
+  ``(dataset name, seed, scale)`` / ``(dataset size, sampling seed)``, so
+  a dataset is materialised at most once per worker process no matter how
+  many runs or runner configurations it serves.
+
+Tasks carry the pickled runner spec (a function reference plus four
+scalars), so the pool itself is configuration-free and one pool can serve
+arbitrarily many different runners.  Determinism is inherited from the
+per-point seeding discipline of :meth:`~repro.sim.sweep.SweepRunner.point_seed`:
+results are byte-identical to the serial executor, whichever worker
+simulates which point in whichever order.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.sim.sweep import (
+    SweepPoint,
+    SweepRecord,
+    SweepRunner,
+    _execute_point_task,
+    _raise_lowest_failure,
+)
+
+# -- worker-process state -----------------------------------------------------
+#
+# Module-level on purpose: spawned workers import this module fresh, and the
+# caches live for the worker's (= the pool's) lifetime.  Sharing the dataset
+# and sampler dicts across every runner spec a worker serves is safe because
+# both are keyed by everything that defines their contents — (name, seed,
+# scale) and (size, seed) — which is exactly why SweepRunner accepts
+# externally-owned caches.
+
+_WORKER_RUNNERS: Dict[tuple, SweepRunner] = {}
+_SHARED_DATASETS: Dict[tuple, object] = {}
+_SHARED_SAMPLERS: Dict[tuple, object] = {}
+
+
+def _worker_runner(spec: tuple) -> SweepRunner:
+    """Rebuild (once per worker per spec) the runner for one task's spec."""
+    runner = _WORKER_RUNNERS.get(spec)
+    if runner is None:
+        server_factory, scale, seed, queue_depth, fast_path = spec
+        runner = SweepRunner(server_factory, scale=scale, seed=seed,
+                             queue_depth=queue_depth, fast_path=fast_path,
+                             dataset_cache=_SHARED_DATASETS,
+                             sampler_cache=_SHARED_SAMPLERS)
+        _WORKER_RUNNERS[spec] = runner
+    return runner
+
+
+def _run_pooled_point(task: Tuple[tuple, int, SweepPoint]):
+    """Simulate one indexed point; never raise across the pipe.
+
+    The per-call pool's task protocol
+    (:func:`repro.sim.sweep._execute_point_task`, shared so the two
+    executors cannot drift) plus the worker pid, so the parent can
+    account which processes served a run.
+    """
+    spec, index, point = task
+    index, record, failure = _execute_point_task(_worker_runner(spec),
+                                                 index, point)
+    return index, record, failure, os.getpid()
+
+
+def _probe_worker(_: int) -> Tuple[int, int, int, int]:
+    """Report (pid, runners, datasets, samplers) cached in this worker."""
+    return (os.getpid(), len(_WORKER_RUNNERS), len(_SHARED_DATASETS),
+            len(_SHARED_SAMPLERS))
+
+
+class PersistentPool:
+    """A spawn pool of sweep workers reused across ``run()`` calls.
+
+    Args:
+        workers: Worker processes (>= 1).  The pool is created lazily on
+            the first run and kept until :meth:`close`.
+        chunksize: Default points per pickled task (per run: about four
+            chunks per worker when ``None``).
+
+    Attributes:
+        runs: Completed :meth:`run_points` calls.
+        pids_seen: Every worker pid that ever served a task — with healthy
+            reuse this stays at ``workers`` elements no matter how many
+            runs the pool serves (the worker-reuse tests pin exactly that).
+        last_run_pids: Pids that served the most recent run.
+
+    Use it either directly (``pool.run_points(runner.spec(), ...)``) or,
+    normally, through ``SweepRunner.run(points, pool=pool)``; it is a
+    context manager (``with PersistentPool(4) as pool: ...``).
+    """
+
+    def __init__(self, workers: int, chunksize: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ConfigurationError("a persistent pool needs >= 1 workers")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be at least 1")
+        self._workers = workers
+        self._chunksize = chunksize
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self.runs = 0
+        self.pids_seen: Set[int] = set()
+        self.last_run_pids: Set[int] = set()
+
+    @property
+    def workers(self) -> int:
+        """Configured worker count."""
+        return self._workers
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            context = multiprocessing.get_context("spawn")
+            self._pool = context.Pool(self._workers)
+        return self._pool
+
+    def run_points(self, spec: tuple,
+                   indexed_points: List[Tuple[int, SweepPoint]],
+                   chunksize: Optional[int] = None,
+                   on_record: Optional[Callable[[int, SweepRecord], None]]
+                   = None) -> List[Tuple[int, SweepRecord]]:
+        """Simulate indexed points under ``spec``; return (index, record)s.
+
+        ``on_record`` fires per record in completion order while the pool
+        drains (``SweepRunner.run`` hooks its store write-back here, so
+        finished points survive a later failure).  The failure protocol is
+        the serial/per-call-pool one, shared via
+        :func:`repro.sim.sweep._raise_lowest_failure`: drain everything,
+        then raise the lowest failing input index as a labelled
+        :class:`~repro.exceptions.SweepPointError` chaining the original
+        worker exception.
+        """
+        if not indexed_points:
+            return []
+        pool = self._ensure_pool()
+        if chunksize is None:
+            chunksize = self._chunksize
+        if chunksize is None:
+            chunksize = max(1, math.ceil(len(indexed_points)
+                                         / (self._workers * 4)))
+        tasks = [(spec, index, point) for index, point in indexed_points]
+        ran: List[Tuple[int, SweepRecord]] = []
+        failures: Dict[int, tuple] = {}
+        run_pids: Set[int] = set()
+        for index, record, failure, pid in pool.imap_unordered(
+                _run_pooled_point, tasks, chunksize):
+            run_pids.add(pid)
+            if failure is not None:
+                failures[index] = failure
+            else:
+                if on_record is not None:
+                    on_record(index, record)
+                ran.append((index, record))
+        self.runs += 1
+        self.last_run_pids = run_pids
+        self.pids_seen |= run_pids
+        if failures:
+            _raise_lowest_failure(failures, indexed_points)
+        return ran
+
+    def probe(self) -> Dict[int, Tuple[int, int, int]]:
+        """Sample the workers' cache sizes, by pid.
+
+        Maps every *reached* worker pid to its (runner, dataset, sampler)
+        cache sizes.  Probing sends one tiny task per worker slot times
+        four; scheduling decides which workers answer, so treat the result
+        as a sample — the reuse tests assert over the union, not coverage.
+        """
+        pool = self._ensure_pool()
+        sizes: Dict[int, Tuple[int, int, int]] = {}
+        for pid, runners, datasets, samplers in pool.imap_unordered(
+                _probe_worker, range(self._workers * 4), 1):
+            sizes[pid] = (runners, datasets, samplers)
+        return sizes
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent); the pool can be rebuilt."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,264 @@
+"""Content-addressed, on-disk store of sweep results.
+
+Every figure/table in the reproduction is a :class:`~repro.sim.sweep.SweepRunner`
+grid, and every grid point is a pure function of its configuration: the
+runner spec, the point spec and the result-affecting environment flags
+(:meth:`~repro.sim.sweep.SweepRunner.point_spec` renders exactly that
+identity).  :class:`SweepStore` memoises those functions on disk — the
+serve-many-queries discipline of DS-Analyzer-style what-if tooling — so a
+repeated ``report`` run, a re-run of one changed experiment, or a what-if
+query over an already-simulated grid reduces to file reads.
+
+Layout: one JSON file per record at ``<dir>/<key[:2]>/<key>.json`` (the
+two-hex-character shard keeps directories small for large stores).  Each
+entry carries the store schema version, its own key and the record's
+fully-invertible snapshot
+(:meth:`~repro.sim.sweep.SweepRecord.snapshot` with embedded timelines).
+Entries are written atomically (temp file + :func:`os.replace`), so a
+crashed writer can leave a stray temp file but never a torn entry; any
+unreadable, mis-keyed, wrong-schema or wrong-point entry is treated as a
+miss and overwritten by the re-simulation — corruption can cost time,
+never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.sim.sweep import SweepPoint, SweepRecord, SweepRunner
+
+#: Environment variable supplying the default store directory of
+#: :meth:`repro.sim.sweep.SweepRunner.run` (and therefore of every
+#: sweep-backed experiment and the CLI) when no explicit ``store`` is
+#: passed.  Unset or empty means "no store".
+STORE_ENV_VAR = "REPRO_SWEEP_STORE"
+
+#: Version of the on-disk entry format.  It participates in every content
+#: address, so bumping it orphans (never corrupts) all previous entries —
+#: a stale-schema entry can simply never be looked up again.
+STORE_SCHEMA_VERSION = 1
+
+
+def store_key(spec: Dict[str, Any]) -> str:
+    """Stable BLAKE2 content address of one canonical point spec.
+
+    ``spec`` is :meth:`~repro.sim.sweep.SweepRunner.point_spec` output (or
+    anything JSON-stable); the digest covers the spec *and*
+    :data:`STORE_SCHEMA_VERSION`, rendered as canonical JSON (sorted keys,
+    no whitespace) so dict ordering can never move the address.
+    """
+    payload = json.dumps({"schema": STORE_SCHEMA_VERSION, "spec": spec},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """On-disk footprint plus this-process session counters of one store.
+
+    ``entries``/``total_bytes`` come from a directory scan at call time;
+    the session counters count what *this* :class:`SweepStore` instance
+    served since construction (the CI store leg asserts a warm run is
+    all hits through them).
+    """
+
+    directory: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    puts: int
+    invalid: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON dumps in the CI store leg)."""
+        return {
+            "directory": self.directory,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "invalid": self.invalid,
+        }
+
+
+class SweepStore:
+    """Content-addressed sweep-record store rooted at one directory.
+
+    Args:
+        directory: Store root; created (with parents) if missing.
+
+    Counters ``hits`` / ``misses`` / ``puts`` / ``invalid`` accumulate per
+    instance; ``invalid`` counts entries that existed but could not be
+    served (unparsable, truncated, mis-keyed, schema or point mismatch) —
+    every invalid get is also a miss.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+        self._directory = pathlib.Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.invalid = 0
+
+    @property
+    def directory(self) -> pathlib.Path:
+        """Root directory of the store."""
+        return self._directory
+
+    def key_for(self, runner: SweepRunner, point: SweepPoint) -> str:
+        """Content address of one point under one runner configuration."""
+        return store_key(runner.point_spec(point))
+
+    def entry_path(self, key: str) -> pathlib.Path:
+        """On-disk path of one entry (whether or not it exists)."""
+        return self._directory / key[:2] / f"{key}.json"
+
+    # -- lookup / insert -----------------------------------------------------
+
+    def get(self, key: str,
+            point: Optional[SweepPoint] = None) -> Optional[SweepRecord]:
+        """Rehydrated record for ``key``, or ``None`` on any kind of miss.
+
+        A present-but-unusable entry (garbage bytes, truncated JSON, wrong
+        embedded key/schema, or — when ``point`` is given — a rehydrated
+        record whose point spec does not match the query) counts as
+        ``invalid`` and is reported as a miss; the caller re-simulates and
+        :meth:`put` overwrites the bad entry.
+        """
+        path = self.entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["schema"] != STORE_SCHEMA_VERSION or entry["key"] != key:
+                raise ConfigurationError("store entry key/schema mismatch")
+            record = SweepRecord.from_snapshot(entry["record"])
+            if point is not None and record.point != point:
+                raise ConfigurationError("store entry point mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Treat every malformed entry as a (counted) miss, never an
+            # error: the store is a cache, and re-simulation repairs it.
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: SweepRecord) -> pathlib.Path:
+        """Persist one record under ``key`` (atomic replace); returns its path."""
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "record": record.snapshot(include_timeline=True),
+        }
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+        self.puts += 1
+        return path
+
+    # -- management ----------------------------------------------------------
+
+    def _entries(self) -> List[pathlib.Path]:
+        """Every entry file in the store (stray temp files excluded)."""
+        return sorted(self._directory.glob("??/*.json"))
+
+    def stats(self) -> StoreStats:
+        """Scan the directory and combine with the session counters."""
+        entries = self._entries()
+        return StoreStats(
+            directory=str(self._directory),
+            entries=len(entries),
+            total_bytes=sum(path.stat().st_size for path in entries),
+            hits=self.hits,
+            misses=self.misses,
+            puts=self.puts,
+            invalid=self.invalid,
+        )
+
+    def gc(self, max_entries: Optional[int] = None,
+           max_bytes: Optional[int] = None) -> int:
+        """Prune oldest-first (by mtime) until within the given budgets.
+
+        Either budget may be ``None`` (unbounded); with both ``None`` this
+        is a no-op.  Returns the number of entries removed.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ConfigurationError("max_entries must be >= 0")
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigurationError("max_bytes must be >= 0")
+        stats: List[Tuple[float, int, pathlib.Path]] = []
+        for path in self._entries():
+            meta = path.stat()
+            stats.append((meta.st_mtime, meta.st_size, path))
+        stats.sort()  # oldest first
+        entries = len(stats)
+        total = sum(size for _, size, _ in stats)
+        removed = 0
+        for _, size, path in stats:
+            over_entries = max_entries is not None and entries > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not (over_entries or over_bytes):
+                break
+            path.unlink(missing_ok=True)
+            entries -= 1
+            total -= size
+            removed += 1
+        return removed
+
+    def invalidate(self, prefix: str = "") -> int:
+        """Remove every entry whose key starts with ``prefix`` (default: all).
+
+        Returns the number of entries removed.  Invalidation is how a user
+        forces re-simulation after changing something the key does not
+        cover (the simulator's own code, most importantly).
+        """
+        removed = 0
+        for path in self._entries():
+            if path.stem.startswith(prefix):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+#: What :func:`resolve_store` accepts (and, transitively, the ``store=``
+#: argument of every sweep-backed ``run``): an open store, a directory
+#: path, ``None`` for the environment default, ``False`` to disable.
+StoreArg = Union["SweepStore", str, os.PathLike, None, bool]
+
+
+def resolve_store(store: StoreArg) -> Optional[SweepStore]:
+    """Normalise a user-facing ``store=`` argument to an open store.
+
+    * :class:`SweepStore` — returned as-is;
+    * a path — opened (created if missing);
+    * ``None`` — the :data:`STORE_ENV_VAR` environment default (no store
+      when unset/empty);
+    * ``False`` — explicitly no store, even when the variable is set.
+    """
+    if isinstance(store, SweepStore):
+        return store
+    if store is None:
+        env = os.environ.get(STORE_ENV_VAR, "").strip()
+        return SweepStore(env) if env else None
+    if store is False:
+        return None
+    if isinstance(store, (str, os.PathLike)):
+        return SweepStore(store)
+    raise ConfigurationError(
+        f"store must be a SweepStore, a path, None or False, "
+        f"not {type(store).__name__}")

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import main
 from repro.experiments import registry
+from repro.store import STORE_ENV_VAR, SweepStore
 
 
 class TestCLI:
@@ -45,3 +46,64 @@ class TestCLI:
         from repro.exceptions import ConfigurationError
         with pytest.raises(ConfigurationError):
             main(["run-experiment", "fig99"])
+
+
+class TestCLIStore:
+    def test_run_experiment_populates_and_reuses_the_store(self, tmp_path,
+                                                           capsys):
+        store_dir = tmp_path / "store"
+        args = ["run-experiment", "fig3", "--scale", "0.002",
+                "--store", str(store_dir)]
+        assert main(args) == 0
+        entries = SweepStore(store_dir).stats().entries
+        assert entries > 0
+        first = capsys.readouterr().out
+        # The warm re-run serves every point from the store and prints the
+        # identical table (rehydrated records are bit-exact).
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert SweepStore(store_dir).stats().entries == entries
+
+    def test_no_store_beats_the_environment_default(self, tmp_path,
+                                                    monkeypatch, capsys):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "ambient"))
+        assert main(["run-experiment", "fig3", "--scale", "0.002",
+                     "--no-store"]) == 0
+        assert not (tmp_path / "ambient").exists()
+
+    def test_store_flag_on_experiment_without_sweeps_warns(self, tmp_path,
+                                                           capsys):
+        assert main(["run-experiment", "fig8",
+                     "--store", str(tmp_path / "s")]) == 0
+        assert "ignoring --store" in capsys.readouterr().err
+
+    def test_store_management_subcommands(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["run-experiment", "fig3", "--scale", "0.002",
+                     "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "stats", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and str(store_dir) in out
+
+        assert main(["store", "gc", "--max-entries", "1",
+                     "--store", str(store_dir)]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert SweepStore(store_dir).stats().entries == 1
+
+        assert main(["store", "invalidate", "--store", str(store_dir)]) == 0
+        assert "invalidated 1 entries" in capsys.readouterr().out
+        assert SweepStore(store_dir).stats().entries == 0
+
+    def test_store_subcommand_reads_the_environment_default(
+            self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "ambient"))
+        assert main(["store", "stats"]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_store_subcommand_without_directory_fails(self, monkeypatch):
+        from repro.exceptions import ConfigurationError
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        with pytest.raises(ConfigurationError):
+            main(["store", "stats"])

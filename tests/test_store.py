@@ -1,0 +1,426 @@
+"""Tests for the content-addressed sweep result store (``repro.store``).
+
+Four contracts:
+
+* **key derivation** — every input that can move a simulated bit moves the
+  key (runner spec, point spec incl. label, the warm-kernel kill-switch,
+  the schema version), and proven-bit-neutral knobs (worker count) do not;
+* **exact rehydration** — ``SweepRecord.from_snapshot`` inverts
+  ``snapshot(include_timeline=True)`` bit for bit for all three record
+  kinds, pinned against the committed golden grids at workers=0/1/4 with
+  the warm pass fenced off from simulating anything;
+* **corruption degrades to misses** — truncated/garbage/mis-keyed/
+  wrong-point entries are re-simulated and repaired, never served;
+* **management** — stats/gc/invalidate and the ``store=`` argument
+  resolution (explicit > environment default > ``False`` opt-out).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cache.warm_kernel import WARM_KERNEL_ENV_VAR
+from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
+from repro.compute.model_zoo import ALEXNET, RESNET18
+from repro.exceptions import ConfigurationError, SweepPointError
+from repro.sim.harness import GOLDEN_GRIDS, load_golden, snapshot_diff
+from repro.sim.sweep import WORKERS_ENV_VAR, SweepPoint, SweepRecord, SweepRunner
+from repro.store import (
+    STORE_ENV_VAR,
+    SweepStore,
+    resolve_store,
+    store_key,
+)
+
+SCALE = 1 / 500.0
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+
+def _runner(**overrides) -> SweepRunner:
+    settings = dict(scale=SCALE, seed=0)
+    settings.update(overrides)
+    return SweepRunner(settings.pop("server_factory", config_ssd_v100),
+                       **settings)
+
+
+def _points():
+    return [
+        SweepPoint(model=RESNET18, loader="coordl", dataset="openimages",
+                   cache_fraction=0.5),
+        SweepPoint(model=RESNET18, loader="dali-shuffle", dataset="openimages",
+                   cache_fraction=0.5),
+    ]
+
+
+class TestKeyDerivation:
+    def test_key_is_stable_across_runner_instances(self):
+        point = _points()[0]
+        assert (_runner().point_spec(point) == _runner().point_spec(point))
+        assert (store_key(_runner().point_spec(point))
+                == store_key(_runner().point_spec(point)))
+
+    @pytest.mark.parametrize("override", [
+        dict(seed=1), dict(scale=SCALE / 2), dict(queue_depth=8),
+        dict(fast_path=False), dict(server_factory=config_hdd_1080ti),
+    ])
+    def test_runner_spec_participates(self, override):
+        point = _points()[0]
+        assert (store_key(_runner().point_spec(point))
+                != store_key(_runner(**override).point_spec(point)))
+
+    def test_point_fields_participate_including_label(self):
+        runner = _runner()
+        base = SweepPoint(model=RESNET18, loader="coordl",
+                          dataset="openimages", cache_fraction=0.5)
+        variants = [
+            SweepPoint(model=ALEXNET, loader="coordl", dataset="openimages",
+                       cache_fraction=0.5),
+            SweepPoint(model=RESNET18, loader="dali-shuffle",
+                       dataset="openimages", cache_fraction=0.5),
+            SweepPoint(model=RESNET18, loader="coordl", dataset="openimages",
+                       cache_fraction=0.25),
+            SweepPoint(model=RESNET18, loader="coordl", dataset="openimages",
+                       cache_fraction=0.5, num_epochs=3),
+            # label is part of the byte-exact snapshot, so it must key too
+            SweepPoint(model=RESNET18, loader="coordl", dataset="openimages",
+                       cache_fraction=0.5, label="tagged"),
+        ]
+        keys = {store_key(runner.point_spec(p)) for p in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_warm_kernel_kill_switch_changes_the_key(self, monkeypatch):
+        """REPRO_WARM_KERNEL=0 must produce a different key: a store must
+        never answer one configuration with bytes computed under another,
+        even when the two are proven byte-identical."""
+        runner, point = _runner(), _points()[0]
+        monkeypatch.delenv(WARM_KERNEL_ENV_VAR, raising=False)
+        enabled = store_key(runner.point_spec(point))
+        monkeypatch.setenv(WARM_KERNEL_ENV_VAR, "0")
+        disabled = store_key(runner.point_spec(point))
+        assert enabled != disabled
+
+    def test_worker_count_does_not_change_the_key(self, monkeypatch):
+        """Serial and pooled runs are byte-identical, so they share entries."""
+        runner, point = _runner(), _points()[0]
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        serial = store_key(runner.point_spec(point))
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        pooled = store_key(runner.point_spec(point))
+        assert serial == pooled
+
+    def test_schema_version_participates(self, monkeypatch):
+        import repro.store.store as store_module
+        runner, point = _runner(), _points()[0]
+        current = store_key(runner.point_spec(point))
+        monkeypatch.setattr(store_module, "STORE_SCHEMA_VERSION", 999)
+        assert store_module.store_key(runner.point_spec(point)) != current
+
+    def test_custom_model_reusing_a_zoo_name_keys_differently(self):
+        """The address covers every ModelSpec field, not just the name: a
+        custom spec named like a zoo model must never share an entry with
+        it (nor be *served* one — the point guard backstops below)."""
+        from dataclasses import replace
+        runner = _runner()
+        impostor = replace(RESNET18, gpu_rate_v100=3200.0)
+        zoo_point = SweepPoint(model=RESNET18, loader="coordl",
+                               dataset="openimages", cache_fraction=0.5)
+        impostor_point = SweepPoint(model=impostor, loader="coordl",
+                                    dataset="openimages", cache_fraction=0.5)
+        assert (store_key(runner.point_spec(zoo_point))
+                != store_key(runner.point_spec(impostor_point)))
+
+    def test_custom_model_sweeps_are_correct_but_never_served_hits(
+            self, tmp_path):
+        """Records of a custom zoo-named model rehydrate to the zoo spec,
+        so the point guard rejects them: re-simulated every time, never
+        wrong."""
+        from dataclasses import replace
+        impostor = replace(RESNET18, gpu_rate_v100=3200.0)
+        point = SweepPoint(model=impostor, loader="coordl",
+                           dataset="openimages", cache_fraction=0.5)
+        store = SweepStore(tmp_path / "store")
+        first = _runner().run([point], store=store).snapshot()
+        second_store = SweepStore(tmp_path / "store")
+        second = _runner().run([point], store=second_store).snapshot()
+        assert second_store.hits == 0 and second_store.invalid == 1
+        assert second == first  # re-simulated, deterministic
+
+    def test_unresolvable_server_factory_is_rejected_for_store_use(
+            self, tmp_path):
+        """Closures/lambdas share qualified names, so naming them would be
+        an unsound content address: store-backed runs reject them loudly
+        (store-less runs still work)."""
+        factory = lambda **kw: config_ssd_v100(**kw)  # noqa: E731
+        runner = SweepRunner(factory, scale=SCALE, seed=0)
+        point = _points()[0]
+        assert len(runner.run([point], store=False)) == 1
+        with pytest.raises(ConfigurationError, match="module-level"):
+            runner.run([point], store=SweepStore(tmp_path / "store"))
+
+    def test_ambient_store_bypasses_unkeyable_factories(self, tmp_path,
+                                                        monkeypatch):
+        """An ambient REPRO_SWEEP_STORE must not break runners the store
+        cannot key: closure factories simulated fine before the store
+        existed, so they silently skip it (only an *explicit* store=
+        request fails loudly — previous test)."""
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "ambient"))
+        factory = lambda **kw: config_ssd_v100(**kw)  # noqa: E731
+        runner = SweepRunner(factory, scale=SCALE, seed=0)
+        sweep = runner.run([_points()[0]])
+        assert len(sweep) == 1
+        assert not (tmp_path / "ambient").exists() or (
+            SweepStore(tmp_path / "ambient").stats().entries == 0)
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("point", [
+        SweepPoint(model=RESNET18, loader="coordl", dataset="openimages",
+                   cache_fraction=0.5, num_epochs=3),
+        SweepPoint(model=ALEXNET, loader="hp-baseline",
+                   dataset="imagenet-1k", cache_fraction=1.2, num_jobs=4),
+        SweepPoint(model=RESNET18, loader="dist-coordl", dataset="openimages",
+                   cache_fraction=0.6, num_servers=2),
+    ], ids=["training", "hp-search", "distributed"])
+    def test_from_snapshot_is_exact_for_every_record_kind(self, point):
+        record = _runner().run([point]).records[0]
+        rehydrated = SweepRecord.from_snapshot(
+            record.snapshot(include_timeline=True))
+        assert rehydrated.snapshot() == record.snapshot()
+        assert (rehydrated.snapshot(include_timeline=True)
+                == record.snapshot(include_timeline=True))
+        assert rehydrated.point == record.point
+
+    def test_digest_only_snapshot_with_timeline_cannot_be_inverted(self):
+        point = SweepPoint(model=RESNET18, loader="dali-shuffle",
+                           dataset="openimages", cache_fraction=0.5)
+        record = _runner().run([point]).records[0]
+        assert any(len(e.io.timeline) for e in record.run.epochs)
+        with pytest.raises(ConfigurationError):
+            SweepRecord.from_snapshot(record.snapshot())
+
+
+class TestHitMissFlow:
+    def test_cold_then_warm_is_byte_identical_with_zero_simulations(
+            self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        cold = _runner().run(_points(), store=store).snapshot()
+        assert store.hits == 0 and store.misses == 2 and store.puts == 2
+
+        warm_store = SweepStore(tmp_path / "store")
+        simulated = []
+        original = SweepRunner._run_point
+        SweepRunner._run_point = lambda self, p: simulated.append(p) or original(self, p)
+        try:
+            warm = _runner().run(_points(), store=warm_store).snapshot()
+        finally:
+            SweepRunner._run_point = original
+        assert not simulated
+        assert warm_store.hits == 2 and warm_store.misses == 0
+        assert warm == cold
+
+    def test_environment_variable_supplies_the_default_store(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env-store"))
+        _runner().run(_points())
+        assert SweepStore(tmp_path / "env-store").stats().entries == 2
+
+    def test_store_false_disables_the_environment_default(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env-store"))
+        _runner().run(_points(), store=False)
+        assert not (tmp_path / "env-store").exists() or (
+            SweepStore(tmp_path / "env-store").stats().entries == 0)
+
+    def test_store_accepts_a_directory_path(self, tmp_path, monkeypatch):
+        directory = tmp_path / "by-path"
+        _runner().run(_points(), store=str(directory))
+        monkeypatch.setattr(
+            SweepRunner, "_run_point",
+            lambda self, p: (_ for _ in ()).throw(
+                AssertionError("warm run simulated a point")))
+        warm = _runner().run(_points(), store=str(directory))
+        assert len(warm) == 2
+
+    def test_failed_points_are_never_stored(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        bad = SweepPoint(model=ALEXNET, loader="hp-baseline", num_jobs=64,
+                         label="overcommitted-hp-point")
+        with pytest.raises(SweepPointError):
+            _runner().run([bad], store=store)
+        assert store.stats().entries == 0
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_points_finished_before_a_failure_are_kept(self, tmp_path,
+                                                       workers):
+        """Records commit as they complete, so a failing grid is resumable:
+        the retry pays only for the points the first attempt never ran."""
+        store = SweepStore(tmp_path / "store")
+        good = _points()
+        bad = SweepPoint(model=ALEXNET, loader="hp-baseline", num_jobs=64,
+                         label="overcommitted-hp-point")
+        with pytest.raises(SweepPointError):
+            _runner().run(good + [bad], workers=workers, store=store)
+        assert store.stats().entries == len(good)
+
+        retry_store = SweepStore(tmp_path / "store")
+        retry = _runner().run(good, workers=workers, store=retry_store)
+        assert retry_store.hits == len(good) and retry_store.misses == 0
+        assert len(retry) == len(good)
+
+    def test_mixed_hits_and_misses_reassemble_in_input_order(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        points = _points()
+        _runner().run([points[0]], store=store)  # prime one of two points
+        warm_store = SweepStore(tmp_path / "store")
+        sweep = _runner().run(points, store=warm_store)
+        assert warm_store.hits == 1 and warm_store.misses == 1
+        assert [r.point for r in sweep] == points
+
+
+class TestCorruptionAndInvalidation:
+    def _primed(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        runner = _runner()
+        keys = [store.key_for(runner, p) for p in _points()]
+        runner.run(_points(), store=store)
+        return store, keys
+
+    @pytest.mark.parametrize("corruption", [
+        lambda path: path.write_text(path.read_text()[: path.stat().st_size // 2]),
+        lambda path: path.write_text("not json at all {"),
+        lambda path: path.write_bytes(b"\x00\xff\x00\xff"),
+        lambda path: path.write_text("{}"),
+    ], ids=["truncated", "garbage-json", "binary-garbage", "empty-object"])
+    def test_corrupt_entries_are_misses_and_get_repaired(
+            self, tmp_path, corruption):
+        store, keys = self._primed(tmp_path)
+        intact = store.entry_path(keys[0]).read_text(encoding="utf-8")
+        corruption(store.entry_path(keys[0]))
+
+        fresh = SweepStore(store.directory)
+        assert fresh.get(keys[0], _points()[0]) is None
+        assert fresh.invalid == 1 and fresh.misses == 1
+
+        # A store-backed run re-simulates the corrupted point only, and the
+        # rewrite restores the byte-exact entry.
+        repair = SweepStore(store.directory)
+        _runner().run(_points(), store=repair)
+        assert repair.misses == 1 and repair.hits == 1 and repair.puts == 1
+        assert (store.entry_path(keys[0]).read_text(encoding="utf-8")
+                == intact)
+
+    def test_entry_under_the_wrong_key_is_a_miss(self, tmp_path):
+        store, keys = self._primed(tmp_path)
+        # Swap the two entries on disk: both carry a key/point that does
+        # not match the address they sit at.
+        a, b = (store.entry_path(k) for k in keys)
+        a_text, b_text = a.read_text(), b.read_text()
+        a.write_text(b_text)
+        b.write_text(a_text)
+        fresh = SweepStore(store.directory)
+        assert fresh.get(keys[0], _points()[0]) is None
+        assert fresh.get(keys[1], _points()[1]) is None
+        assert fresh.invalid == 2
+
+    def test_point_mismatch_is_a_miss_even_with_a_valid_entry(self, tmp_path):
+        store, keys = self._primed(tmp_path)
+        entry = json.loads(store.entry_path(keys[0]).read_text())
+        other = SweepStore(store.directory)
+        # Force the stored bytes under a different point's key.
+        entry["key"] = keys[1]
+        store.entry_path(keys[1]).write_text(json.dumps(entry))
+        assert other.get(keys[1], _points()[1]) is None
+        assert other.invalid == 1
+
+    def test_stats_gc_and_invalidate(self, tmp_path):
+        store, keys = self._primed(tmp_path)
+        stats = store.stats()
+        assert stats.entries == 2 and stats.total_bytes > 0
+        assert stats.puts == 2 and stats.misses == 2
+
+        assert store.gc() == 0  # no budgets: no-op
+        assert store.gc(max_entries=1) == 1
+        assert store.stats().entries == 1
+        assert store.gc(max_bytes=0) == 1
+        assert store.stats().entries == 0
+
+        self._primed(tmp_path)
+        assert store.invalidate(prefix="no-such-prefix") == 0
+        assert store.invalidate() == 2
+        assert store.stats().entries == 0
+
+    def test_gc_rejects_negative_budgets(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        with pytest.raises(ConfigurationError):
+            store.gc(max_entries=-1)
+        with pytest.raises(ConfigurationError):
+            store.gc(max_bytes=-1)
+
+
+class TestResolveStore:
+    def test_none_without_environment_is_no_store(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert resolve_store(None) is None
+
+    def test_none_with_environment_opens_it(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "ambient"))
+        store = resolve_store(None)
+        assert isinstance(store, SweepStore)
+        assert store.directory == tmp_path / "ambient"
+
+    def test_false_always_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "ambient"))
+        assert resolve_store(False) is None
+
+    def test_instances_and_paths_pass_through(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        assert resolve_store(store) is store
+        assert resolve_store(str(tmp_path / "other")).directory == (
+            tmp_path / "other")
+        assert resolve_store(tmp_path / "third").directory == (
+            tmp_path / "third")
+
+    def test_everything_else_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_store(42)
+
+
+class TestGoldenGridsThroughStore:
+    """The acceptance gate: cold-then-warm reproduces every committed
+    golden snapshot at every worker count, the warm pass all store hits."""
+
+    @pytest.mark.parametrize("workers", [0, 1, 4])
+    @pytest.mark.parametrize("name", sorted(GOLDEN_GRIDS))
+    def test_cold_and_warm_match_the_committed_golden(
+            self, name, workers, tmp_path):
+        grid = GOLDEN_GRIDS[name]
+        expected = load_golden(name, GOLDEN_DIR)
+
+        cold_store = SweepStore(tmp_path / "store")
+        cold = grid.build_runner().run(grid.points(), workers=workers,
+                                       store=cold_store).snapshot()
+        assert not snapshot_diff(expected, cold), (
+            f"{name}: cold store-backed run diverged from the golden")
+        assert cold_store.hits == 0
+        assert cold_store.puts == len(grid.points())
+
+        warm_store = SweepStore(tmp_path / "store")
+        simulated = []
+        original = SweepRunner._run_point
+        SweepRunner._run_point = (
+            lambda self, p: simulated.append(p) or original(self, p))
+        try:
+            warm = grid.build_runner().run(grid.points(), workers=workers,
+                                           store=warm_store).snapshot()
+        finally:
+            SweepRunner._run_point = original
+        assert not simulated, (
+            f"{name}: warm run simulated {len(simulated)} points")
+        assert warm_store.misses == 0
+        assert warm_store.hits == len(grid.points())
+        assert not snapshot_diff(expected, warm), (
+            f"{name}: warm (rehydrated) run diverged from the golden")

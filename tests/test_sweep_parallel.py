@@ -169,7 +169,10 @@ class TestWorkerErrorPropagation:
     def test_child_failure_carries_label_and_original_exception(self):
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         with pytest.raises(SweepPointError) as excinfo:
-            runner.run(self._failing_grid(), workers=2)
+            # store=False pins the pool path: with an ambient result store
+            # (the CI store leg) the good point would be a hit, leaving a
+            # single miss that runs in-process instead of in a worker.
+            runner.run(self._failing_grid(), workers=2, store=False)
         error = excinfo.value
         assert "overcommitted-hp-point" in str(error)
         assert error.point_label == "overcommitted-hp-point"

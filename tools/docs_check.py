@@ -2,8 +2,8 @@
 """Fail if any public ``__all__`` symbol is missing from docs/API.md.
 
 Checked surfaces: ``repro.__all__`` (the top-level re-exports) plus the
-subsystem surfaces ``repro.sim.__all__``, ``repro.coordl.__all__`` and
-``repro.cache.__all__``.
+subsystem surfaces ``repro.sim.__all__``, ``repro.coordl.__all__``,
+``repro.cache.__all__`` and ``repro.store.__all__``.
 
 Run as ``make docs-check`` (or ``PYTHONPATH=src python tools/docs_check.py``).
 The check is textual on purpose: a symbol counts as documented when its name
@@ -23,6 +23,7 @@ import repro  # noqa: E402  (path bootstrap above)
 import repro.cache  # noqa: E402
 import repro.coordl  # noqa: E402
 import repro.sim  # noqa: E402
+import repro.store  # noqa: E402
 
 #: (label, module) pairs whose ``__all__`` must be covered by docs/API.md.
 CHECKED_SURFACES = (
@@ -30,6 +31,7 @@ CHECKED_SURFACES = (
     ("repro.sim", repro.sim),
     ("repro.coordl", repro.coordl),
     ("repro.cache", repro.cache),
+    ("repro.store", repro.store),
 )
 
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""CI gate for the content-addressed sweep result store (``repro.store``).
+
+Runs small reference grids twice against one store directory and enforces
+the store contract end to end:
+
+* the cold pass simulates every point (all misses) and populates the store;
+* the warm pass performs **zero simulations** (every point is a store hit —
+  simulation is fenced off by instrumentation, not inferred from timing);
+* the warm :meth:`~repro.sim.sweep.SweepResult.snapshot` is byte-identical
+  to the cold one.
+
+Store statistics land in ``BENCH_store.json`` at the repository root so CI
+can upload them alongside ``BENCH_sweep.json``.
+
+Run as ``make store-check`` (or ``PYTHONPATH=src python tools/store_check.py``).
+The store directory comes from ``REPRO_SWEEP_STORE`` when set (what the CI
+leg does), else a temporary directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.harness import GOLDEN_GRIDS, snapshot_diff  # noqa: E402
+from repro.sim.sweep import SweepRunner  # noqa: E402
+from repro.store import STORE_ENV_VAR, SweepStore  # noqa: E402
+
+#: Grids the gate replays (cheap but covering all three record kinds).
+CHECKED_GRIDS = ("fig3_small", "fig9b_small", "tab7_small")
+
+#: Where the store statistics land (repo root, uploaded as a CI artifact).
+REPORT_PATH = REPO_ROOT / "BENCH_store.json"
+
+
+def run_gate(directory: pathlib.Path) -> dict:
+    """Run the cold/warm passes; return the stats payload (raises on fail)."""
+    simulated = []
+    original_run_point = SweepRunner._run_point
+
+    def counting_run_point(self, point):
+        simulated.append(point)
+        return original_run_point(self, point)
+
+    SweepRunner._run_point = counting_run_point
+    try:
+        grids = {name: GOLDEN_GRIDS[name] for name in CHECKED_GRIDS}
+        # workers=0 pins the serial executor: the gate counts simulations
+        # through a parent-process instrumentation hook that spawn workers
+        # would not see, and the store contract is worker-count-invariant
+        # anyway (tests/test_store.py covers workers=0/1/4).
+        cold_store = SweepStore(directory)
+        start = time.perf_counter()
+        cold = {name: grid.build_runner().run(grid.points(), workers=0,
+                                              store=cold_store).snapshot()
+                for name, grid in grids.items()}
+        cold_s = time.perf_counter() - start
+        cold_simulated = len(simulated)
+        if cold_store.hits or cold_store.puts != cold_simulated:
+            raise AssertionError(
+                f"cold pass expected all misses: {cold_store.hits} hits, "
+                f"{cold_store.puts} puts, {cold_simulated} simulations")
+
+        warm_store = SweepStore(directory)
+        start = time.perf_counter()
+        warm = {name: grid.build_runner().run(grid.points(), workers=0,
+                                              store=warm_store).snapshot()
+                for name, grid in grids.items()}
+        warm_s = time.perf_counter() - start
+        warm_simulated = len(simulated) - cold_simulated
+        if warm_simulated or warm_store.misses:
+            raise AssertionError(
+                f"warm pass simulated {warm_simulated} points / "
+                f"{warm_store.misses} store misses (expected all hits)")
+        for name in grids:
+            diffs = snapshot_diff(cold[name], warm[name])
+            if diffs:
+                raise AssertionError(
+                    f"{name}: warm snapshot diverged from cold "
+                    f"(first differences: {diffs})")
+    finally:
+        SweepRunner._run_point = original_run_point
+
+    stats = warm_store.stats()
+    return {
+        "schema": "repro-store-gate/1",
+        "grids": list(CHECKED_GRIDS),
+        "points": cold_simulated,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 3) if warm_s else None,
+        "store": stats.to_dict(),
+    }
+
+
+def main() -> int:
+    env_dir = os.environ.get(STORE_ENV_VAR, "").strip()
+    if env_dir:
+        # A fresh scratch store *under* the configured directory: the gate's
+        # cold pass must start from zero entries, and the ambient store may
+        # already hold these exact grids (the golden tests populate it when
+        # the whole suite runs store-backed — or a previous gate run did).
+        pathlib.Path(env_dir).mkdir(parents=True, exist_ok=True)
+        scratch = tempfile.mkdtemp(prefix="store-gate-", dir=env_dir)
+        try:
+            payload = run_gate(pathlib.Path(scratch))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+    else:
+        with tempfile.TemporaryDirectory() as scratch:
+            payload = run_gate(pathlib.Path(scratch) / "sweep-store")
+    REPORT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    print(f"store-check: {payload['points']} points over "
+          f"{len(payload['grids'])} grids; warm pass all hits and "
+          f"byte-identical (cold {payload['cold_s']:.2f} s, warm "
+          f"{payload['warm_s']:.2f} s, {payload['speedup']}x); "
+          f"stats -> {REPORT_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
