@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-workers bench bench-json bench-smoke bench-parallel \
-        docs-check store-check check
+        docs-check store-check serve-check check
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -51,8 +51,17 @@ docs-check:
 store-check:
 	$(PYTHON) tools/store_check.py
 
-## Everything the CI gate's main leg runs (the parallel-workers and store
-## legs add `make test-workers bench-smoke bench-parallel` under
-## REPRO_SWEEP_WORKERS=2 and `make test store-check` under
-## REPRO_SWEEP_STORE respectively).
+## Serve-layer gate: the concurrency + fault test harness for the what-if
+## daemon and the write-once store, then every committed golden grid served
+## twice over HTTP from an in-process daemon (warm pass must be pure store
+## reads, both passes byte-identical to tests/golden).  Latency percentiles
+## land in BENCH_serve.json (repo root).
+serve-check:
+	$(PYTHON) -m pytest -x -q tests/test_serve.py tests/test_store_concurrency.py
+	$(PYTHON) tools/store_check.py --serve
+
+## Everything the CI gate's main leg runs (the parallel-workers, store and
+## serve legs add `make test-workers bench-smoke bench-parallel` under
+## REPRO_SWEEP_WORKERS=2, `make test store-check` under REPRO_SWEEP_STORE,
+## and `make serve-check` respectively).
 check: test docs-check bench-smoke store-check

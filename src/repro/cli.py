@@ -12,6 +12,12 @@ any Python:
   paper-vs-measured report.
 * ``python -m repro store stats`` — inspect/manage the content-addressed
   sweep result store (also ``gc``, ``invalidate``).
+* ``python -m repro serve --store CACHE --workers 4`` — start the
+  long-running what-if daemon (one shared store + worker pool; concurrent
+  queries coalesce).
+* ``python -m repro query --model resnet18 --cache-fraction 0.35`` — ask a
+  running daemon a what-if question (also ``--health``, ``--stats``,
+  ``--experiment fig3``).
 
 ``run-experiment`` and ``report`` accept ``--store DIR`` (memoise every
 sweep point on disk; a warm re-run reduces to store reads) and
@@ -22,10 +28,15 @@ variable supplies the default store directory.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from repro.cluster.configs import get_server_config
+from repro.cluster.configs import (
+    get_server_config,
+    get_server_factory,
+    server_config_names,
+)
 from repro.compute.model_zoo import get_model
 from repro.datasets.catalog import get_dataset_spec
 from repro.datasets.dataset import SyntheticDataset
@@ -94,6 +105,53 @@ def _build_parser() -> argparse.ArgumentParser:
     for command in (stats, gc, invalidate):
         command.add_argument("--store", dest="store_dir", default=None,
                              help=f"store directory (default: ${STORE_ENV_VAR})")
+
+    serve = sub.add_parser(
+        "serve", help="start the long-running what-if sweep daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="listen port (0 picks a free one; default 8421)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="persistent worker pool size shared by every "
+                            "query (0: simulate on the serving threads)")
+    serve.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                       help="batching window: how long the daemon waits to "
+                            "coalesce overlapping queries into one sweep run")
+    serve.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="default per-request deadline for queries that "
+                            "do not carry one")
+    _add_store_flags(serve)
+
+    query = sub.add_parser(
+        "query", help="query a running serve daemon (what-if / experiment)")
+    query.add_argument("--url", default="http://127.0.0.1:8421",
+                       help="daemon base URL (default http://127.0.0.1:8421)")
+    action = query.add_mutually_exclusive_group()
+    action.add_argument("--health", action="store_true",
+                        help="print the daemon's health payload and exit")
+    action.add_argument("--stats", action="store_true",
+                        help="print store/batcher/latency statistics and exit")
+    action.add_argument("--experiment", metavar="ID",
+                        help="run a registered experiment on the daemon")
+    action.add_argument("--model", help="what-if: model name, e.g. resnet18")
+    query.add_argument("--loader", default="coordl",
+                       help="what-if: loader kind (default coordl)")
+    query.add_argument("--dataset", default=None,
+                       help="what-if: dataset name (default: the model's)")
+    query.add_argument("--cache-fraction", type=float, action="append",
+                       dest="cache_fractions", metavar="FRACTION",
+                       help="what-if: cached fraction of the dataset "
+                            "(repeatable; one point per value)")
+    query.add_argument("--server-config", default="config-ssd-v100",
+                       choices=server_config_names(),
+                       help="what-if: server SKU (default config-ssd-v100)")
+    query.add_argument("--scale", type=float, default=SWEEP_SCALE,
+                       help="dataset scale fraction (default 1/100)")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--num-epochs", type=int, default=2)
+    query.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS", help="per-request deadline; late "
+                       "points come back marked timed_out")
     return parser
 
 
@@ -191,6 +249,71 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeDaemon
+    from repro.serve.batcher import DEFAULT_WINDOW_S
+    from repro.serve.server import DEFAULT_DEADLINE_S
+
+    daemon = ServeDaemon(
+        args.host, args.port, store=_store_arg(args), workers=args.workers,
+        window_s=DEFAULT_WINDOW_S if args.window is None else args.window,
+        default_deadline_s=(DEFAULT_DEADLINE_S if args.deadline is None
+                            else args.deadline))
+    print(f"serving on {daemon.url} "
+          f"(store: {daemon.store.directory if daemon.store else 'off'}, "
+          f"pool workers: {daemon.pool.workers if daemon.pool else 0})",
+          flush=True)
+    daemon.serve_forever()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+    from repro.sim.sweep import SweepPoint, SweepRunner
+
+    client = ServeClient(args.url)
+    if args.health:
+        print(json.dumps(client.health(), indent=2))
+        return 0
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2))
+        return 0
+    if args.experiment:
+        payload = client.experiment(args.experiment, scale=args.scale)
+        print(payload["table"])
+        return 0
+    if not args.model:
+        raise ConfigurationError(
+            "nothing to query: pass --health, --stats, --experiment ID, or "
+            "a what-if question (--model ... [--cache-fraction ...])")
+    model = get_model(args.model)
+    fractions = args.cache_fractions or [None]
+    runner = SweepRunner(get_server_factory(args.server_config),
+                         scale=args.scale, seed=args.seed)
+    points = [SweepPoint(model=model, loader=args.loader,
+                         dataset=args.dataset, cache_fraction=fraction,
+                         num_epochs=args.num_epochs)
+              for fraction in fractions]
+    results = client.whatif(runner, points, deadline_s=args.deadline)
+    exit_code = 0
+    for point, result in zip(points, results):
+        cache = ("server default" if point.cache_fraction is None
+                 else f"{100 * point.cache_fraction:g}% cached")
+        header = f"{point.model.name} / {point.loader} / {cache}"
+        if result.status == "ok":
+            row = result.record.row()
+            metrics = ", ".join(
+                f"{name} {row[name]:.4g}" for name in
+                ("epoch_time_s", "throughput", "cache_miss_ratio")
+                if isinstance(row.get(name), (int, float)))
+            print(f"{header}: {metrics}")
+        else:
+            exit_code = 1
+            detail = f" ({result.error})" if result.error else ""
+            print(f"{header}: {result.status}{detail}")
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -207,6 +330,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            _store_arg(args))
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

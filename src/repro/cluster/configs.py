@@ -73,9 +73,22 @@ _CONFIGS = {
 
 def get_server_config(name: str, cache_bytes: float | None = None) -> ServerConfig:
     """Look up a server SKU by name, case-insensitively."""
+    return get_server_factory(name)(cache_bytes)
+
+
+def get_server_factory(name: str):
+    """Look up a server SKU's *factory* by name, case-insensitively.
+
+    The factory (not an instance) is what :class:`~repro.sim.sweep.SweepRunner`
+    and the serve wire protocol want — both key on its importable identity.
+    """
     try:
-        factory = _CONFIGS[name.lower()]
+        return _CONFIGS[name.lower()]
     except KeyError:
         known = ", ".join(sorted(_CONFIGS))
         raise ConfigurationError(f"unknown server config {name!r}; known: {known}") from None
-    return factory(cache_bytes)
+
+
+def server_config_names() -> list[str]:
+    """All catalog SKU names (the ``--server-config`` choices)."""
+    return sorted(_CONFIGS)

@@ -19,7 +19,7 @@ from repro.dsanalyzer.profiler import DSAnalyzerProfiler
 from repro.dsanalyzer.whatif import optimal_cache_fraction
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE
 from repro.sim.sweep import SweepRunner
-from repro.store import StoreArg
+from repro.store import PersistentPool, StoreArg
 
 DEFAULT_FRACTIONS = (0.0, 0.2, 0.4, 0.55, 0.7, 0.85, 1.0)
 
@@ -28,7 +28,8 @@ def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
         dataset_name: str = "imagenet-1k",
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
         seed: int = 0, workers: Optional[int] = None,
-        store: StoreArg = None) -> ExperimentResult:
+        store: StoreArg = None,
+        pool: Optional[PersistentPool] = None) -> ExperimentResult:
     """Reproduce the cache-size what-if sweep of Fig. 16."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     dataset = runner.dataset(dataset_name)
@@ -39,7 +40,7 @@ def run(scale: float = SWEEP_SCALE, model: ModelSpec = ALEXNET,
     # The empirical curve is a plain cache-fraction sweep of the simulator.
     sweep = runner.run(SweepRunner.grid(
         models=[model], loaders=["coordl"], cache_fractions=fractions,
-        dataset=dataset_name, gpu_prep=False), workers=workers, store=store)
+        dataset=dataset_name, gpu_prep=False), workers=workers, store=store, pool=pool)
 
     result = ExperimentResult(
         experiment_id="fig16",

@@ -17,7 +17,7 @@ from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import RESNET18
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE
 from repro.sim.sweep import SweepRunner
-from repro.store import StoreArg
+from repro.store import PersistentPool, StoreArg
 
 DEFAULT_FRACTIONS = (0.25, 0.35, 0.5, 0.65, 0.8, 1.0)
 
@@ -25,13 +25,14 @@ DEFAULT_FRACTIONS = (0.25, 0.35, 0.5, 0.65, 0.8, 1.0)
 def run(scale: float = SWEEP_SCALE, fractions: Sequence[float] = DEFAULT_FRACTIONS,
         dataset_name: str = "openimages", num_epochs: int = 2,
         seed: int = 0, workers: Optional[int] = None,
-        store: StoreArg = None) -> ExperimentResult:
+        store: StoreArg = None,
+        pool: Optional[PersistentPool] = None) -> ExperimentResult:
     """Reproduce the epoch-time split vs cache size for ResNet18."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     sweep = runner.run(SweepRunner.grid(
         models=[RESNET18], loaders=["dali-shuffle", "coordl"],
         cache_fractions=fractions, dataset=dataset_name, num_epochs=num_epochs),
-        workers=workers, store=store)
+        workers=workers, store=store, pool=pool)
     result = ExperimentResult(
         experiment_id="fig3",
         title="Fig. 3 — ResNet18 epoch split vs cache size (compute / ideal fetch "

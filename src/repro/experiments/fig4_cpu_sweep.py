@@ -18,7 +18,7 @@ from repro.compute.model_zoo import ALEXNET, MOBILENET_V2, RESNET18, RESNET50, M
 from repro.dsanalyzer.whatif import cores_needed_per_gpu
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE
 from repro.sim.sweep import SweepPoint, SweepRunner
-from repro.store import StoreArg
+from repro.store import PersistentPool, StoreArg
 
 DEFAULT_MODELS = (RESNET18, ALEXNET, MOBILENET_V2, RESNET50)
 DEFAULT_CORES_PER_GPU = (1, 2, 3, 6, 12, 24)
@@ -32,7 +32,8 @@ def run(scale: float = SWEEP_SCALE, models: Optional[Sequence[ModelSpec]] = None
         cores_per_gpu: Sequence[int] = DEFAULT_CORES_PER_GPU,
         dataset_name: str = "imagenet-1k", num_gpus: int = 1,
         seed: int = 0, workers: Optional[int] = None,
-        store: StoreArg = None) -> ExperimentResult:
+        store: StoreArg = None,
+        pool: Optional[PersistentPool] = None) -> ExperimentResult:
     """Reproduce the throughput-vs-cores sweep and the cores-needed summary."""
     chosen = list(models) if models is not None else list(DEFAULT_MODELS)
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
@@ -45,7 +46,7 @@ def run(scale: float = SWEEP_SCALE, models: Optional[Sequence[ModelSpec]] = None
                    gpu_prep=False, label=f"{cores}")
         for model in chosen for cores in cores_per_gpu
     ]
-    sweep = runner.run(points, workers=workers, store=store)
+    sweep = runner.run(points, workers=workers, store=store, pool=pool)
 
     result = ExperimentResult(
         experiment_id="fig4",

@@ -17,13 +17,14 @@ from repro.cluster.configs import config_hdd_1080ti, config_ssd_v100
 from repro.compute.model_zoo import RESNET18
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE
 from repro.sim.sweep import SweepPoint, SweepRunner
-from repro.store import StoreArg
+from repro.store import PersistentPool, StoreArg
 
 
 def run(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
         cores_per_gpu: int = 3, seed: int = 0,
         workers: Optional[int] = None,
-        store: StoreArg = None) -> ExperimentResult:
+        store: StoreArg = None,
+        pool: Optional[PersistentPool] = None) -> ExperimentResult:
     """Reproduce the prep-stall comparison of DALI CPU vs GPU prep."""
     result = ExperimentResult(
         experiment_id="fig5",
@@ -40,7 +41,7 @@ def run(scale: float = SWEEP_SCALE, dataset_name: str = "imagenet-1k",
             SweepPoint(model=RESNET18, loader="dali-shuffle", dataset=dataset_name,
                        cache_fraction=1.2, cores=cores, gpu_prep=gpu_prep)
             for gpu_prep in (False, True)
-        ], workers=workers, store=store)
+        ], workers=workers, store=store, pool=pool)
         for gpu_prep in (False, True):
             epoch = sweep.one(gpu_prep=gpu_prep).steady
             result.add_row(

@@ -14,13 +14,14 @@ from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import ALL_STALL_MODELS, ModelSpec
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE
 from repro.sim.sweep import SweepRunner
-from repro.store import StoreArg
+from repro.store import PersistentPool, StoreArg
 
 
 def run(scale: float = SWEEP_SCALE, models: Optional[Sequence[ModelSpec]] = None,
         cores_per_gpu: int = 3, seed: int = 0,
         workers: Optional[int] = None,
-        store: StoreArg = None) -> ExperimentResult:
+        store: StoreArg = None,
+        pool: Optional[PersistentPool] = None) -> ExperimentResult:
     """Reproduce the per-model prep-stall percentages of Fig. 6."""
     chosen = list(models) if models is not None else list(ALL_STALL_MODELS)
     server = config_ssd_v100()
@@ -28,7 +29,7 @@ def run(scale: float = SWEEP_SCALE, models: Optional[Sequence[ModelSpec]] = None
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     sweep = runner.run(SweepRunner.grid(
         models=chosen, loaders=["dali-shuffle"], cache_fractions=[1.2],
-        cores=[cores]), workers=workers, store=store)
+        cores=[cores]), workers=workers, store=store, pool=pool)
     result = ExperimentResult(
         experiment_id="fig6",
         title="Fig. 6 — prep stall as % of epoch time (8 GPUs, 3 cores/GPU, cached)",

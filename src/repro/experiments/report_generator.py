@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Dict
+from typing import Dict, Sequence
 
+from repro.exceptions import ConfigurationError
 from repro.experiments import registry
 from repro.experiments.base import SWEEP_SCALE
-from repro.store import StoreArg
+from repro.store import PersistentPool, StoreArg
 
 #: What the paper reports for each experiment, quoted/condensed from the text.
 PAPER_EXPECTATIONS: Dict[str, str] = {
@@ -110,7 +111,9 @@ KNOWN_DEVIATIONS: Dict[str, str] = {
 
 
 def generate(output_path: str = "EXPERIMENTS.md", scale: float = SWEEP_SCALE,
-             workers: "int | None" = None, store: StoreArg = None) -> str:
+             workers: "int | None" = None, store: StoreArg = None,
+             pool: "PersistentPool | None" = None,
+             only: "Sequence[str] | None" = None) -> str:
     """Run every experiment and write the markdown report; returns the text.
 
     ``workers`` fans each sweep-backed experiment's grid out over that many
@@ -118,8 +121,21 @@ def generate(output_path: str = "EXPERIMENTS.md", scale: float = SWEEP_SCALE,
     ignore it).  ``store`` memoises every sweep point in a content-addressed
     result store (a :class:`repro.store.SweepStore` or directory path;
     ``None`` reads ``REPRO_SWEEP_STORE``, ``False`` disables): a warm
-    second ``generate`` reduces to near-pure store reads.
+    second ``generate`` reduces to near-pure store reads.  ``pool`` hands
+    the sweep-backed experiments an already-spawned
+    :class:`~repro.store.PersistentPool` (the serve daemon shares its pool
+    this way).  ``only`` restricts the report to the named experiment ids,
+    in registry order.
     """
+    if only is not None:
+        known = set(registry.experiment_ids())
+        unknown = sorted(set(only) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown experiment ids in only=: {unknown}")
+        wanted = [eid for eid in registry.experiment_ids() if eid in set(only)]
+    else:
+        wanted = registry.experiment_ids()
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -133,13 +149,15 @@ def generate(output_path: str = "EXPERIMENTS.md", scale: float = SWEEP_SCALE,
         "dataset size where the column name says so.",
         "",
     ]
-    for experiment_id in registry.experiment_ids():
+    for experiment_id in wanted:
         start = time.time()
         kwargs = {} if experiment_id == "fig8" else {"scale": scale}
         if workers is not None and registry.accepts_kwarg(experiment_id, "workers"):
             kwargs["workers"] = workers
         if store is not None and registry.accepts_kwarg(experiment_id, "store"):
             kwargs["store"] = store
+        if pool is not None and registry.accepts_kwarg(experiment_id, "pool"):
+            kwargs["pool"] = pool
         result = registry.run_experiment(experiment_id, **kwargs)
         elapsed = time.time() - start
         lines.append(f"## {result.title}")

@@ -20,7 +20,7 @@ from repro.dsanalyzer.predictor import DataStallPredictor
 from repro.dsanalyzer.profiler import DSAnalyzerProfiler
 from repro.experiments.base import DEFAULT_SCALE, ExperimentResult
 from repro.sim.sweep import SweepRunner
-from repro.store import StoreArg
+from repro.store import PersistentPool, StoreArg
 
 DEFAULT_FRACTIONS = (0.25, 0.35, 0.5)
 
@@ -29,7 +29,8 @@ def run(scale: float = DEFAULT_SCALE, model: ModelSpec = ALEXNET,
         dataset_name: str = "imagenet-1k",
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
         seed: int = 0, workers: Optional[int] = None,
-        store: StoreArg = None) -> ExperimentResult:
+        store: StoreArg = None,
+        pool: Optional[PersistentPool] = None) -> ExperimentResult:
     """Reproduce the predicted-vs-empirical comparison of Table 5."""
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
     dataset = runner.dataset(dataset_name)
@@ -37,7 +38,7 @@ def run(scale: float = DEFAULT_SCALE, model: ModelSpec = ALEXNET,
     predictor = DataStallPredictor(profiler.profile())
     sweep = runner.run(SweepRunner.grid(
         models=[model], loaders=["coordl"], cache_fractions=fractions,
-        dataset=dataset_name, gpu_prep=False), workers=workers, store=store)
+        dataset=dataset_name, gpu_prep=False), workers=workers, store=store, pool=pool)
 
     result = ExperimentResult(
         experiment_id="tab5",

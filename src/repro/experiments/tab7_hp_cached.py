@@ -18,14 +18,15 @@ from repro.compute.model_zoo import IMAGE_MODELS, ModelSpec
 from repro.experiments.base import ExperimentResult, SWEEP_SCALE
 from repro.sim.sweep import SweepRunner
 from repro.units import speedup
-from repro.store import StoreArg
+from repro.store import PersistentPool, StoreArg
 
 
 def run(scale: float = SWEEP_SCALE, num_jobs: int = 8,
         dataset_name: str = "imagenet-1k",
         models: Optional[Sequence[ModelSpec]] = None,
         seed: int = 0, workers: Optional[int] = None,
-        store: StoreArg = None) -> ExperimentResult:
+        store: StoreArg = None,
+        pool: Optional[PersistentPool] = None) -> ExperimentResult:
     """Reproduce the fully-cached HP-search speedups of Table 7."""
     chosen = list(models) if models is not None else list(IMAGE_MODELS)
     runner = SweepRunner(config_ssd_v100, scale=scale, seed=seed)
@@ -33,7 +34,7 @@ def run(scale: float = SWEEP_SCALE, num_jobs: int = 8,
     sweep = runner.run(SweepRunner.grid(
         models=chosen, loaders=["hp-baseline", "hp-coordl"],
         cache_fractions=[1.2], dataset=dataset_name,
-        num_jobs=num_jobs, gpus_per_job=1), workers=workers, store=store)
+        num_jobs=num_jobs, gpus_per_job=1), workers=workers, store=store, pool=pool)
     result = ExperimentResult(
         experiment_id="tab7",
         title=f"Table 7 — {num_jobs}-job HP search with the dataset fully cached "

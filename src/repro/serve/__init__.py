@@ -1,0 +1,71 @@
+"""Long-running what-if sweep service: daemon, coalescing batcher, client.
+
+The serve layer turns the reproduction from a batch tool into a service:
+one :class:`ServeDaemon` keeps a :class:`~repro.store.SweepStore` and a
+:class:`~repro.store.PersistentPool` open and answers what-if /
+experiment / report queries as JSON over HTTP (stdlib
+``ThreadingHTTPServer``; wire shapes in :mod:`repro.serve.protocol`).
+
+Between the HTTP front end and the simulator sits the
+:class:`CoalescingBatcher`: overlapping concurrent requests are
+deduplicated by the store's content address — each unique point is
+in flight at most once, every requester shares its future — and batched
+into shared :meth:`~repro.sim.sweep.SweepRunner.run` calls, one batch
+thread per runner configuration so a slow grid never blocks an
+unrelated fast one.  Deadlines are per-request: :meth:`QueryTicket.wait`
+returns the finished points plus explicit ``timed_out`` markers while
+the simulation keeps running into the store.
+
+Surfaced on the command line as ``repro serve`` (start a daemon) and
+``repro query`` (health / stats / what-if / experiment against one).
+"""
+
+from repro.serve.batcher import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_WINDOW_S,
+    CoalescingBatcher,
+    PointFuture,
+    PointOutcome,
+    QueryTicket,
+)
+from repro.serve.client import ServeClient, ServeError, WhatIfResult
+from repro.serve.protocol import (
+    ALLOWED_FACTORY_MODULES,
+    PROTOCOL_VERSION,
+    point_from_wire,
+    point_to_wire,
+    points_from_wire,
+    record_from_wire,
+    record_to_wire,
+    runner_from_wire,
+    runner_to_wire,
+)
+from repro.serve.server import (
+    DEFAULT_DEADLINE_S,
+    ServeDaemon,
+    latency_percentiles,
+)
+
+__all__ = [
+    "ServeDaemon",
+    "ServeClient",
+    "ServeError",
+    "WhatIfResult",
+    "CoalescingBatcher",
+    "QueryTicket",
+    "PointFuture",
+    "PointOutcome",
+    "latency_percentiles",
+    "runner_to_wire",
+    "runner_from_wire",
+    "point_to_wire",
+    "point_from_wire",
+    "points_from_wire",
+    "record_to_wire",
+    "record_from_wire",
+    "ALLOWED_FACTORY_MODULES",
+    "PROTOCOL_VERSION",
+    "DEFAULT_DEADLINE_S",
+    "DEFAULT_WINDOW_S",
+    "DEFAULT_MAX_ATTEMPTS",
+]

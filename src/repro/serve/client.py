@@ -1,0 +1,131 @@
+"""Thin stdlib HTTP client for the what-if sweep daemon.
+
+:class:`ServeClient` wraps :mod:`urllib.request` around the endpoints of
+:mod:`repro.serve.server` and decodes responses back into library types
+where one exists — :meth:`ServeClient.whatif` rehydrates served records
+into byte-identical :class:`~repro.sim.sweep.SweepRecord` objects via
+:func:`repro.serve.protocol.record_from_wire`.  The golden round-trip
+gate and ``repro query`` both drive the daemon through this client.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.serve.protocol import (
+    point_to_wire,
+    record_from_wire,
+    runner_to_wire,
+)
+from repro.sim.sweep import SweepPoint, SweepRecord, SweepRunner
+
+
+@dataclass
+class WhatIfResult:
+    """One point's answer from :meth:`ServeClient.whatif`.
+
+    ``record`` is the rehydrated, byte-identical
+    :class:`~repro.sim.sweep.SweepRecord` when ``status == "ok"``, else
+    ``None``; ``error`` carries the daemon's failure text for ``status
+    == "error"``; ``status == "timed_out"`` marks a point the request's
+    deadline cut off (ask again — the simulation finished into the
+    store).
+    """
+
+    status: str
+    record: Optional[SweepRecord]
+    error: Optional[str]
+
+
+class ServeError(ConfigurationError):
+    """An HTTP-level error response from the serve daemon."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"serve daemon returned {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talk to one serve daemon at ``url`` (e.g. ``http://127.0.0.1:8421``)."""
+
+    def __init__(self, url: str, timeout_s: float = 600.0) -> None:
+        self._url = url.rstrip("/")
+        self._timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self._url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self._timeout_s) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason)
+            except Exception:
+                message = str(exc.reason)
+            raise ServeError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ConfigurationError(
+                f"cannot reach serve daemon at {self._url}: "
+                f"{exc.reason}") from None
+        return payload
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health`` — liveness + configuration echo."""
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /v1/stats`` — store / batcher / latency statistics."""
+        return self._request("GET", "/v1/stats")
+
+    def whatif(self, runner: SweepRunner, points: Sequence[SweepPoint],
+               deadline_s: Optional[float] = None) -> List[WhatIfResult]:
+        """Query the daemon for ``points`` under ``runner``'s configuration.
+
+        Returns one :class:`WhatIfResult` per point, in input order.
+        ``deadline_s`` bounds this request only (the daemon's default
+        applies when ``None``); late points come back ``timed_out``.
+        """
+        body: Dict[str, Any] = {
+            "runner": runner_to_wire(runner),
+            "points": [point_to_wire(point) for point in points],
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        payload = self._request("POST", "/v1/whatif", body)
+        results = []
+        for item in payload.get("results", []):
+            record = item.get("record")
+            results.append(WhatIfResult(
+                status=item.get("status", "error"),
+                record=None if record is None else record_from_wire(record),
+                error=item.get("error")))
+        return results
+
+    def experiment(self, experiment_id: str,
+                   scale: Optional[float] = None) -> Dict[str, Any]:
+        """``POST /v1/experiment`` — run a registered experiment by id."""
+        body: Dict[str, Any] = {"id": experiment_id}
+        if scale is not None:
+            body["scale"] = scale
+        return self._request("POST", "/v1/experiment", body)
+
+    def report(self, scale: Optional[float] = None,
+               only: Optional[Sequence[str]] = None) -> str:
+        """``POST /v1/report`` — EXPERIMENTS.md markdown for the grid."""
+        body: Dict[str, Any] = {}
+        if scale is not None:
+            body["scale"] = scale
+        if only is not None:
+            body["only"] = list(only)
+        return self._request("POST", "/v1/report", body)["markdown"]

@@ -1,0 +1,141 @@
+"""Wire protocol of the what-if sweep service.
+
+Everything the serve daemon (:mod:`repro.serve.server`) and client
+(:mod:`repro.serve.client`) exchange is JSON, and every payload shape is
+defined here so the two sides (and the tests) cannot drift:
+
+* a **runner spec** names the :class:`~repro.sim.sweep.SweepRunner`
+  configuration a query runs under — the server factory by registry name
+  or ``module:qualname`` token, plus scale / seed / queue depth /
+  fast-path (:func:`runner_to_wire` / :func:`runner_from_wire`);
+* a **point** is one :class:`~repro.sim.sweep.SweepPoint` with the model
+  by zoo name (:func:`point_to_wire` / :func:`point_from_wire`) — the
+  same rendering :meth:`~repro.sim.sweep.SweepRecord.snapshot` uses;
+* a **result record** travels as the fully-invertible snapshot form
+  (:meth:`~repro.sim.sweep.SweepRecord.snapshot` with embedded
+  timelines), so a client rehydrates byte-identical records with
+  :meth:`~repro.sim.sweep.SweepRecord.from_snapshot` — the golden
+  round-trip gate (``tools/store_check.py --serve``) pins exactly that.
+
+Factory resolution is deliberately narrow: a request may only name
+factories inside :data:`ALLOWED_FACTORY_MODULES` (the server-SKU catalog),
+because the token is resolved by import + ``getattr`` and *called* —
+accepting arbitrary ``module:qualname`` tokens from the network would be
+remote code execution by configuration.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import fields
+from typing import Any, Callable, Dict, List
+
+from repro.cluster.server import ServerConfig
+from repro.compute.model_zoo import get_model
+from repro.exceptions import ConfigurationError
+from repro.sim.sweep import SweepPoint, SweepRecord, SweepRunner
+
+#: Modules a wire runner spec may resolve its server factory from.  The
+#: cluster-config catalog is the only SKU source today; extend the tuple if
+#: factories ever live elsewhere (never accept arbitrary modules).
+ALLOWED_FACTORY_MODULES = ("repro.cluster.configs",)
+
+#: Version tag carried in every response envelope, bumped on breaking
+#: protocol changes so a stale client fails loudly instead of misparsing.
+PROTOCOL_VERSION = 1
+
+
+def runner_to_wire(runner: SweepRunner) -> Dict[str, Any]:
+    """Wire form of one runner configuration.
+
+    The factory travels as the same ``module:qualname`` token the result
+    store keys on (:meth:`~repro.sim.sweep.SweepRunner._factory_identity`),
+    so a runner that cannot be soundly named cannot be queried remotely
+    either — the same closures/lambdas the store rejects.
+    """
+    factory_token = runner._factory_identity()
+    server_factory, scale, seed, queue_depth, fast_path = runner.spec()
+    return {
+        "server_factory": factory_token,
+        "scale": float(scale),
+        "seed": int(seed),
+        "queue_depth": int(queue_depth),
+        "fast_path": bool(fast_path),
+    }
+
+
+def _resolve_factory(token: str) -> Callable[..., ServerConfig]:
+    """Resolve a ``module:qualname`` factory token, whitelist-checked."""
+    module_name, _, qualname = token.partition(":")
+    if not qualname or module_name not in ALLOWED_FACTORY_MODULES:
+        raise ConfigurationError(
+            f"server factory {token!r} is not servable; expected "
+            f"'<module>:<name>' with module in {ALLOWED_FACTORY_MODULES}")
+    module = importlib.import_module(module_name)
+    factory = module
+    for part in qualname.split("."):
+        factory = getattr(factory, part, None)
+    if not callable(factory):
+        raise ConfigurationError(
+            f"server factory {token!r} does not resolve to a callable")
+    return factory
+
+
+def runner_from_wire(data: Dict[str, Any]) -> SweepRunner:
+    """Build the runner a wire spec describes (inverse of
+    :func:`runner_to_wire`)."""
+    if not isinstance(data, dict):
+        raise ConfigurationError("runner spec must be a JSON object")
+    try:
+        factory = _resolve_factory(str(data["server_factory"]))
+        return SweepRunner(factory,
+                           scale=float(data.get("scale", 1.0)),
+                           seed=int(data.get("seed", 0)),
+                           queue_depth=int(data.get("queue_depth", 4)),
+                           fast_path=bool(data.get("fast_path", True)))
+    except KeyError as exc:
+        raise ConfigurationError(f"runner spec is missing {exc}") from None
+
+
+def point_to_wire(point: SweepPoint) -> Dict[str, Any]:
+    """Wire form of one sweep point (model by zoo name, like snapshots)."""
+    return {f.name: (point.model.name if f.name == "model"
+                     else getattr(point, f.name))
+            for f in fields(SweepPoint)}
+
+
+def point_from_wire(data: Dict[str, Any]) -> SweepPoint:
+    """Build the point a wire dict describes (inverse of
+    :func:`point_to_wire`; unknown fields are rejected, and
+    :class:`~repro.sim.sweep.SweepPoint` validation applies as usual)."""
+    if not isinstance(data, dict):
+        raise ConfigurationError("each point must be a JSON object")
+    values = dict(data)
+    try:
+        model = get_model(str(values.pop("model")))
+    except KeyError:
+        raise ConfigurationError("each point needs a 'model' name") from None
+    known = {f.name for f in fields(SweepPoint)}
+    unknown = set(values) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown point fields {sorted(unknown)}; known: {sorted(known)}")
+    return SweepPoint(model=model, **values)
+
+
+def points_from_wire(data: Any) -> List[SweepPoint]:
+    """Decode a request's point list (must be a non-empty JSON array)."""
+    if not isinstance(data, list) or not data:
+        raise ConfigurationError("'points' must be a non-empty JSON array")
+    return [point_from_wire(item) for item in data]
+
+
+def record_to_wire(record: SweepRecord) -> Dict[str, Any]:
+    """Wire form of one result record: the fully-invertible snapshot."""
+    return record.snapshot(include_timeline=True)
+
+
+def record_from_wire(data: Dict[str, Any]) -> SweepRecord:
+    """Rehydrate a served record, bit-for-bit (see
+    :meth:`~repro.sim.sweep.SweepRecord.from_snapshot`)."""
+    return SweepRecord.from_snapshot(data)

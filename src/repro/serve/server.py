@@ -1,0 +1,351 @@
+"""The long-running what-if sweep daemon (stdlib HTTP, JSON in/out).
+
+:class:`ServeDaemon` holds the serving substrate open across requests —
+one shared :class:`~repro.store.SweepStore` (every answer lands in it;
+warm questions are file reads), one shared
+:class:`~repro.store.PersistentPool` (spawned once, reused by every
+query) and one :class:`~repro.serve.batcher.CoalescingBatcher` (overlapping
+concurrent queries coalesce into shared sweep runs) — and answers JSON
+over HTTP through a :class:`http.server.ThreadingHTTPServer` (one thread
+per connection; all shared state is lock-guarded by construction).
+
+Endpoints (all payloads defined in :mod:`repro.serve.protocol`):
+
+====================  ====  =====================================================
+``/v1/health``        GET   liveness + configuration echo
+``/v1/stats``         GET   store / batcher / latency statistics
+``/v1/whatif``        POST  ``{"runner": .., "points": [..], "deadline_s": ..}``
+                            → per-point records (fully-invertible snapshots),
+                            with explicit ``timed_out`` / ``error`` markers
+``/v1/experiment``    POST  ``{"id": "fig3", "scale": ..}`` → the registered
+                            experiment's tidy table (shared store + pool)
+``/v1/report``        POST  ``{"scale": .., "only": [..]}`` → EXPERIMENTS.md
+                            markdown (shared store + pool)
+====================  ====  =====================================================
+
+Deadlines are per-request (``deadline_s``; the daemon's default applies
+when absent): a request whose points are still simulating when its
+deadline passes gets its completed points plus ``timed_out`` markers for
+the rest — the simulation keeps running and its results land in the
+store, so asking again is cheap.  Responses carry request latency; the
+daemon aggregates latencies for ``/v1/stats`` percentiles (what the CI
+serve gate uploads as ``BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import registry
+from repro.experiments.report_generator import generate
+from repro.serve.batcher import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_WINDOW_S,
+    CoalescingBatcher,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    points_from_wire,
+    record_to_wire,
+    runner_from_wire,
+)
+from repro.store import PersistentPool, StoreArg, resolve_store
+
+#: Default per-request deadline when a query does not carry one.  Generous
+#: — it exists so an abandoned connection can never pin a request thread
+#: forever, not to race healthy queries.
+DEFAULT_DEADLINE_S = 300.0
+
+#: Maximum accepted request body (simple flood guard; grids are small).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def latency_percentiles(latencies_s: List[float]) -> Dict[str, float]:
+    """p50/p90/p99/max of a latency sample, in milliseconds.
+
+    Nearest-rank percentiles over the sorted sample — no interpolation,
+    so tiny samples stay honest.  Empty input returns an empty dict.
+    """
+    if not latencies_s:
+        return {}
+    ordered = sorted(latencies_s)
+    def rank(q: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index] * 1000.0
+    return {
+        "count": len(ordered),
+        "p50_ms": round(rank(0.50), 3),
+        "p90_ms": round(rank(0.90), 3),
+        "p99_ms": round(rank(0.99), 3),
+        "max_ms": round(ordered[-1] * 1000.0, 3),
+    }
+
+
+class ServeDaemon:
+    """One serving process: store + pool + batcher + HTTP front end.
+
+    Args:
+        host / port: Bind address; ``port=0`` picks a free port (the
+            in-process test harness uses exactly that), readable from
+            :attr:`address` / :attr:`url` after construction.
+        store: Shared result store (:class:`~repro.store.StoreArg`
+            semantics: a store, a path, ``None`` for the environment
+            default, ``False`` for no store).
+        workers: Size of the shared :class:`~repro.store.PersistentPool`
+            simulations fan out over; ``0`` simulates on batch threads
+            (in-process — what the tests use).
+        window_s / max_attempts: Batcher knobs (see
+            :class:`~repro.serve.batcher.CoalescingBatcher`).
+        default_deadline_s: Applied to queries that carry no
+            ``deadline_s``.
+
+    Use as a context manager, or :meth:`start` / :meth:`close` explicitly.
+    :meth:`serve_forever` blocks (the CLI's ``repro serve``);
+    :meth:`start` serves on a background thread (tests).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421, *,
+                 store: StoreArg = None, workers: int = 0,
+                 window_s: float = DEFAULT_WINDOW_S,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 default_deadline_s: float = DEFAULT_DEADLINE_S) -> None:
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        self._store = resolve_store(store)
+        self._pool = PersistentPool(workers) if workers else None
+        self._batcher = CoalescingBatcher(
+            store=self._store, pool=self._pool, workers=0,
+            window_s=window_s, max_attempts=max_attempts)
+        self._default_deadline_s = default_deadline_s
+        self._started = time.monotonic()
+        self._lock = threading.Lock()
+        self._latencies_s: List[float] = []
+        self.requests = 0
+        daemon = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, *args: Any) -> None:  # quiet by default
+                pass
+
+            def do_GET(self) -> None:
+                daemon._dispatch(self, "GET")
+
+            def do_POST(self) -> None:
+                daemon._dispatch(self, "POST")
+
+        self._http = ThreadingHTTPServer((host, port), Handler)
+        self._http.daemon_threads = True
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Actually-bound (host, port) — resolves ``port=0`` requests."""
+        return self._http.server_address[0], self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def store(self):
+        """The shared store (``None`` when serving store-less)."""
+        return self._store
+
+    @property
+    def pool(self) -> Optional[PersistentPool]:
+        """The shared persistent pool (``None`` when ``workers=0``)."""
+        return self._pool
+
+    @property
+    def batcher(self) -> CoalescingBatcher:
+        """The shared coalescing batcher."""
+        return self._batcher
+
+    def start(self) -> "ServeDaemon":
+        """Serve on a background thread (idempotent); returns self."""
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self._http.serve_forever, name="repro-serve-http",
+                daemon=True)
+            self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        try:
+            self._http.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop accepting, drain the batcher, shut the pool down."""
+        self._http.shutdown()
+        self._http.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(5.0)
+            self._serve_thread = None
+        self._batcher.close()
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request handling ----------------------------------------------------
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        start = time.monotonic()
+        try:
+            status, payload = self._route(handler, method)
+        except ConfigurationError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # never let a handler thread die silently
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.monotonic() - start
+        payload.setdefault("protocol", PROTOCOL_VERSION)
+        payload.setdefault("elapsed_s", round(elapsed, 6))
+        body = json.dumps(payload).encode("utf-8")
+        with self._lock:
+            self.requests += 1
+            self._latencies_s.append(elapsed)
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def _route(self, handler: BaseHTTPRequestHandler,
+               method: str) -> Tuple[int, Dict[str, Any]]:
+        path = handler.path.split("?", 1)[0].rstrip("/")
+        if method == "GET" and path == "/v1/health":
+            return 200, self._health_payload()
+        if method == "GET" and path == "/v1/stats":
+            return 200, self._stats_payload()
+        if method == "POST" and path == "/v1/whatif":
+            return self._handle_whatif(self._read_body(handler))
+        if method == "POST" and path == "/v1/experiment":
+            return self._handle_experiment(self._read_body(handler))
+        if method == "POST" and path == "/v1/report":
+            return self._handle_report(self._read_body(handler))
+        return 404, {"error": f"no such endpoint: {method} {path}"}
+
+    def _read_body(self, handler: BaseHTTPRequestHandler) -> Dict[str, Any]:
+        length = int(handler.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ConfigurationError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise ConfigurationError(
+                f"request body over {MAX_BODY_BYTES} bytes")
+        raw = handler.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            raise ConfigurationError("request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        return body
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "store": (str(self._store.directory)
+                      if self._store is not None else None),
+            "pool_workers": self._pool.workers if self._pool else 0,
+        }
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        with self._lock:
+            latencies = list(self._latencies_s)
+            requests = self.requests
+        payload: Dict[str, Any] = {
+            "requests": requests,
+            "latency": latency_percentiles(latencies),
+            "batcher": self._batcher.stats(),
+        }
+        if self._store is not None:
+            payload["store"] = self._store.stats().to_dict()
+        return payload
+
+    def _handle_whatif(self,
+                       body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        runner = runner_from_wire(body.get("runner"))
+        points = points_from_wire(body.get("points"))
+        deadline_s = body.get("deadline_s", self._default_deadline_s)
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+            if deadline_s <= 0:
+                raise ConfigurationError("deadline_s must be positive")
+        ticket = self._batcher.submit(runner, points)
+        outcomes = ticket.wait(deadline_s)
+        results = []
+        for outcome in outcomes:
+            item: Dict[str, Any] = {"status": outcome.status}
+            if outcome.record is not None:
+                item["record"] = record_to_wire(outcome.record)
+            if outcome.error is not None:
+                item["error"] = outcome.error
+            results.append(item)
+        return 200, {
+            "results": results,
+            "timed_out": any(o.status == "timed_out" for o in outcomes),
+        }
+
+    def _handle_experiment(self,
+                           body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        experiment_id = str(body.get("id", ""))
+        if not experiment_id:
+            raise ConfigurationError("'id' names the experiment to run")
+        kwargs: Dict[str, Any] = {}
+        if "scale" in body and registry.accepts_kwarg(experiment_id, "scale"):
+            kwargs["scale"] = float(body["scale"])
+        for knob, value in (("store", self._store), ("pool", self._pool)):
+            if value is not None and registry.accepts_kwarg(experiment_id, knob):
+                kwargs[knob] = value
+        result = registry.run_experiment(experiment_id, **kwargs)
+        return 200, {
+            "id": result.experiment_id,
+            "title": result.title,
+            "columns": result.columns,
+            "rows": result.rows,
+            "notes": result.notes,
+            "table": result.format_table(),
+        }
+
+    def _handle_report(self,
+                       body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        kwargs: Dict[str, Any] = {"store": self._store or False,
+                                  "pool": self._pool}
+        if "scale" in body:
+            kwargs["scale"] = float(body["scale"])
+        only = body.get("only")
+        if only is not None:
+            if (not isinstance(only, list)
+                    or not all(isinstance(x, str) for x in only)):
+                raise ConfigurationError("'only' must be a list of experiment ids")
+            kwargs["only"] = only
+        with tempfile.NamedTemporaryFile("r", suffix=".md") as sink:
+            markdown = generate(sink.name, **kwargs)
+        return 200, {"markdown": markdown}

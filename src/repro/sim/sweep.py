@@ -91,6 +91,23 @@ DISTRIBUTED_KINDS = ("dist-baseline", "dist-coordl")
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 
 
+def clamp_workers(workers: int) -> int:
+    """Clamp a requested worker count to the machine's core count.
+
+    Simulation workers are CPU-bound, so a pool wider than
+    ``os.cpu_count()`` only adds spawn cost and scheduler contention — on
+    a 1-core machine the unclamped ``workers=4`` pool ran the 16-point
+    parallel benchmark at ~0.4x serial speed.  Clamping ``min(workers,
+    cores)`` keeps an oversubscribed request no worse than a full-width
+    pool (degrading toward serial, never below it); ``workers=0`` (serial)
+    is preserved, and results are byte-identical either way.  Shared by
+    :meth:`SweepRunner.run` and :class:`repro.store.PersistentPool`.
+    """
+    if workers <= 0:
+        return workers
+    return min(workers, os.cpu_count() or 1)
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One configuration in a sweep grid.
@@ -754,7 +771,9 @@ class SweepRunner:
 
     def run(self, points: Iterable[SweepPoint], workers: Optional[int] = None,
             chunksize: Optional[int] = None, store: "StoreArg" = None,
-            pool: Optional["PersistentPool"] = None) -> SweepResult:
+            pool: Optional["PersistentPool"] = None,
+            on_record: Optional[Callable[[int, SweepRecord], None]] = None,
+            ) -> SweepResult:
         """Simulate every point and return the tidy result table.
 
         Args:
@@ -762,7 +781,10 @@ class SweepRunner:
             workers: Worker processes to fan the grid out over.  ``0`` (and
                 single-point grids) simulate in-process; ``None`` reads the
                 :data:`WORKERS_ENV_VAR` environment variable, defaulting to
-                ``0``.  Results are byte-identical for every value.
+                ``0``.  Counts above ``os.cpu_count()`` are clamped to it
+                (oversubscribing a small machine degrades toward serial
+                speed, it never helps).  Results are byte-identical for
+                every value.
             chunksize: Points pickled to a worker per task (default: grid
                 split into about four chunks per worker).
             store: Content-addressed result store
@@ -777,6 +799,15 @@ class SweepRunner:
                 outlive this call.  Takes precedence over ``workers`` for
                 the points that actually need simulating; store hits never
                 touch the pool.
+            on_record: Streaming hook called as ``on_record(index, record)``
+                once per input point, as its record becomes available —
+                immediately for store hits, in completion order for
+                simulated points (before this method returns, and before a
+                late failure is raised).  This is the coalescing hook the
+                serve layer's batcher (:mod:`repro.serve`) uses to resolve
+                per-point futures while a shared grid is still draining;
+                the callback runs on the caller's thread and must not
+                raise.
 
         Raises:
             SweepPointError: A point failed to simulate.  The failing
@@ -819,6 +850,8 @@ class SweepRunner:
                     to_run.append((index, point))
                 else:
                     records[index] = hit
+                    if on_record is not None:
+                        on_record(index, hit)
 
         def commit(index: int, record: SweepRecord) -> None:
             # Called as each simulation completes (not after the whole
@@ -828,6 +861,8 @@ class SweepRunner:
             records[index] = record
             if sweep_store is not None:
                 sweep_store.put(keys[index], record)
+            if on_record is not None:
+                on_record(index, record)
 
         if to_run:
             if pool is not None:
@@ -851,7 +886,7 @@ class SweepRunner:
                     f"{WORKERS_ENV_VAR}={raw!r} is not an integer") from None
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
-        return workers
+        return clamp_workers(workers)
 
     def _run_point_guarded(self, point: SweepPoint) -> SweepRecord:
         """Run one point, attaching its label to any failure."""

@@ -29,18 +29,22 @@ from repro.store.store import (
     STORE_SCHEMA_VERSION,
     StoreArg,
     StoreStats,
+    StoreTraceEvent,
     SweepStore,
     resolve_store,
     store_key,
+    verify_store_trace,
 )
 
 __all__ = [
     "SweepStore",
     "StoreStats",
     "StoreArg",
+    "StoreTraceEvent",
     "PersistentPool",
     "resolve_store",
     "store_key",
+    "verify_store_trace",
     "STORE_ENV_VAR",
     "STORE_SCHEMA_VERSION",
 ]

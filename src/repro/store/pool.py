@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import threading
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import ConfigurationError
@@ -38,6 +39,7 @@ from repro.sim.sweep import (
     SweepRunner,
     _execute_point_task,
     _raise_lowest_failure,
+    clamp_workers,
 )
 
 # -- worker-process state -----------------------------------------------------
@@ -91,8 +93,10 @@ class PersistentPool:
     """A spawn pool of sweep workers reused across ``run()`` calls.
 
     Args:
-        workers: Worker processes (>= 1).  The pool is created lazily on
-            the first run and kept until :meth:`close`.
+        workers: Worker processes (>= 1; counts above ``os.cpu_count()``
+            are clamped to it — oversubscribing a small machine only adds
+            spawn cost and contention).  The pool is created lazily on the
+            first run and kept until :meth:`close`.
         chunksize: Default points per pickled task (per run: about four
             chunks per worker when ``None``).
 
@@ -106,6 +110,12 @@ class PersistentPool:
     Use it either directly (``pool.run_points(runner.spec(), ...)``) or,
     normally, through ``SweepRunner.run(points, pool=pool)``; it is a
     context manager (``with PersistentPool(4) as pool: ...``).
+
+    The pool is thread-safe: concurrent :meth:`run_points` calls from
+    different threads share the worker processes (``multiprocessing.Pool``
+    routes results by job, so interleaved runs cannot cross wires), which
+    is how the serve layer's concurrent batches share one pool without
+    head-of-line blocking.
     """
 
     def __init__(self, workers: int, chunksize: Optional[int] = None) -> None:
@@ -113,23 +123,25 @@ class PersistentPool:
             raise ConfigurationError("a persistent pool needs >= 1 workers")
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError("chunksize must be at least 1")
-        self._workers = workers
+        self._workers = clamp_workers(workers)
         self._chunksize = chunksize
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._lock = threading.Lock()
         self.runs = 0
         self.pids_seen: Set[int] = set()
         self.last_run_pids: Set[int] = set()
 
     @property
     def workers(self) -> int:
-        """Configured worker count."""
+        """Worker count (after the core-count clamp)."""
         return self._workers
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
-        if self._pool is None:
-            context = multiprocessing.get_context("spawn")
-            self._pool = context.Pool(self._workers)
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                context = multiprocessing.get_context("spawn")
+                self._pool = context.Pool(self._workers)
+            return self._pool
 
     def run_points(self, spec: tuple,
                    indexed_points: List[Tuple[int, SweepPoint]],
@@ -168,9 +180,10 @@ class PersistentPool:
                 if on_record is not None:
                     on_record(index, record)
                 ran.append((index, record))
-        self.runs += 1
-        self.last_run_pids = run_pids
-        self.pids_seen |= run_pids
+        with self._lock:
+            self.runs += 1
+            self.last_run_pids = run_pids
+            self.pids_seen |= run_pids
         if failures:
             _raise_lowest_failure(failures, indexed_points)
         return ran
@@ -192,10 +205,11 @@ class PersistentPool:
 
     def close(self) -> None:
         """Shut the workers down (idempotent); the pool can be rebuilt."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     def __enter__(self) -> "PersistentPool":
         return self

@@ -14,19 +14,39 @@ two-hex-character shard keeps directories small for large stores).  Each
 entry carries the store schema version, its own key and the record's
 fully-invertible snapshot
 (:meth:`~repro.sim.sweep.SweepRecord.snapshot` with embedded timelines).
-Entries are written atomically (temp file + :func:`os.replace`), so a
-crashed writer can leave a stray temp file but never a torn entry; any
-unreadable, mis-keyed, wrong-schema or wrong-point entry is treated as a
-miss and overwritten by the re-simulation — corruption can cost time,
-never correctness.
+Entries are written atomically (a uniquely-named temp file +
+:func:`os.replace`), so a crashed writer can leave a stray temp file but
+never a torn entry; any unreadable, mis-keyed, wrong-schema or
+wrong-point entry is treated as a miss, deleted, and repaired by the
+re-simulation — corruption can cost time, never correctness.
+
+The store is **concurrency-safe** — the contract the serve layer
+(:mod:`repro.serve`) builds on:
+
+* entries are *write-once*: a key's content is a pure function of its
+  spec, so the first completed writer wins and later writers of the same
+  key detect the existing entry and skip (counted as ``redundant_puts``).
+  Two racing writers that both miss the existence check still converge —
+  each performs an atomic replace of identical bytes;
+* temp files are unique per (process, thread, attempt), so concurrent
+  writers in one process can never interleave onto a shared temp file;
+* session counters are guarded by a lock, and an optional **operation
+  trace** (``SweepStore(directory, trace=True)``) records every get/put
+  with a digest of the entry bytes it saw — :func:`verify_store_trace`
+  replays the trace and checks the write-once read/write consistency
+  contract over it (in the spirit of PRAM-consistency trace checking),
+  which is how the concurrency tests prove that readers can never observe
+  torn or cross-served bytes.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import pathlib
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -58,6 +78,75 @@ def store_key(spec: Dict[str, Any]) -> str:
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
+@dataclass(frozen=True)
+class StoreTraceEvent:
+    """One recorded store operation (``SweepStore(..., trace=True)``).
+
+    Attributes:
+        seq: Global order the event was recorded in (per store instance).
+        op: ``"get"`` or ``"put"``.
+        key: Content address the operation targeted.
+        outcome: ``"hit"`` / ``"miss"`` / ``"invalid"`` for gets;
+            ``"stored"`` / ``"redundant"`` for puts.
+        digest: BLAKE2 digest of the entry bytes the operation read or
+            wrote (``None`` when nothing was read/written — a plain miss
+            or a skipped redundant put).
+        thread: ``threading.get_ident()`` of the operating thread.
+    """
+
+    seq: int
+    op: str
+    key: str
+    outcome: str
+    digest: Optional[str]
+    thread: int
+
+
+def verify_store_trace(events: List[StoreTraceEvent]) -> List[str]:
+    """Check a recorded read/write trace against the write-once contract.
+
+    The store's consistency claim reduces to two trace properties (the
+    read/write-trace checking discipline of Wei et al.'s PRAM-consistency
+    verifier, specialised to write-once registers):
+
+    * **write-once**: every ``stored`` put of one key wrote the same bytes
+      (same digest) — concurrent writers may race, but only to identical
+      content;
+    * **reads serve writes**: every ``hit`` returned bytes that some put
+      of that key wrote (or, for keys never written in the trace, the same
+      bytes as every other hit of that key — a pre-populated entry).
+
+    Returns a list of human-readable violations; an empty list means the
+    trace is consistent.  Torn reads, cross-served keys and lost updates
+    all surface as digest mismatches here.
+    """
+    violations: List[str] = []
+    written: Dict[str, Dict[str, int]] = {}
+    preexisting: Dict[str, str] = {}
+    for event in sorted(events, key=lambda e: e.seq):
+        if event.op == "put" and event.outcome == "stored":
+            digests = written.setdefault(event.key, {})
+            digests.setdefault(event.digest or "", event.seq)
+            if len(digests) > 1:
+                violations.append(
+                    f"write-once violated for {event.key}: puts wrote "
+                    f"{len(digests)} distinct contents (seqs {sorted(digests.values())})")
+        elif event.op == "get" and event.outcome == "hit":
+            digests = written.get(event.key)
+            if digests is not None:
+                if (event.digest or "") not in digests:
+                    violations.append(
+                        f"hit at seq {event.seq} for {event.key} returned bytes "
+                        f"no put of that key wrote")
+            else:
+                seen = preexisting.setdefault(event.key, event.digest or "")
+                if seen != (event.digest or ""):
+                    violations.append(
+                        f"hits of never-written key {event.key} disagree "
+                        f"(seq {event.seq})")
+    return violations
+
+
 @dataclass
 class StoreStats:
     """On-disk footprint plus this-process session counters of one store.
@@ -75,6 +164,7 @@ class StoreStats:
     misses: int
     puts: int
     invalid: int
+    redundant_puts: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (JSON dumps in the CI store leg)."""
@@ -86,6 +176,7 @@ class StoreStats:
             "misses": self.misses,
             "puts": self.puts,
             "invalid": self.invalid,
+            "redundant_puts": self.redundant_puts,
         }
 
 
@@ -94,20 +185,48 @@ class SweepStore:
 
     Args:
         directory: Store root; created (with parents) if missing.
+        trace: Record every get/put as a :class:`StoreTraceEvent` in
+            :attr:`trace_events` (with a digest of the bytes involved),
+            for :func:`verify_store_trace`-style consistency checking.
+            Off by default — tracing holds every event in memory.
 
-    Counters ``hits`` / ``misses`` / ``puts`` / ``invalid`` accumulate per
-    instance; ``invalid`` counts entries that existed but could not be
+    Counters ``hits`` / ``misses`` / ``puts`` / ``invalid`` /
+    ``redundant_puts`` accumulate per instance (lock-guarded, so one
+    store may be shared across threads — the serve daemon does exactly
+    that); ``invalid`` counts entries that existed but could not be
     served (unparsable, truncated, mis-keyed, schema or point mismatch) —
-    every invalid get is also a miss.
+    every invalid get is also a miss; ``redundant_puts`` counts writes
+    skipped because a concurrent (or earlier) writer already stored the
+    key — write-once semantics.
     """
 
-    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+    def __init__(self, directory: Union[str, os.PathLike],
+                 trace: bool = False) -> None:
         self._directory = pathlib.Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._tmp_counter = itertools.count()
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.invalid = 0
+        self.redundant_puts = 0
+        self.trace_events: Optional[List[StoreTraceEvent]] = ([] if trace
+                                                              else None)
+
+    def _note(self, op: str, key: str, outcome: str,
+              payload: Optional[bytes], **counters: int) -> None:
+        """Bump session counters and (when tracing) append one event."""
+        with self._lock:
+            for name, delta in counters.items():
+                setattr(self, name, getattr(self, name) + delta)
+            if self.trace_events is not None:
+                digest = (hashlib.blake2b(payload, digest_size=16).hexdigest()
+                          if payload is not None else None)
+                self.trace_events.append(StoreTraceEvent(
+                    seq=len(self.trace_events), op=op, key=key,
+                    outcome=outcome, digest=digest,
+                    thread=threading.get_ident()))
 
     @property
     def directory(self) -> pathlib.Path:
@@ -131,44 +250,77 @@ class SweepStore:
         A present-but-unusable entry (garbage bytes, truncated JSON, wrong
         embedded key/schema, or — when ``point`` is given — a rehydrated
         record whose point spec does not match the query) counts as
-        ``invalid`` and is reported as a miss; the caller re-simulates and
-        :meth:`put` overwrites the bad entry.
+        ``invalid``, is deleted (best-effort) and is reported as a miss;
+        the caller re-simulates and :meth:`put` repairs the entry.  The
+        deletion matters under write-once puts: it is what re-opens the
+        key for the repairing writer.
         """
         path = self.entry_path(key)
+        payload: Optional[bytes] = None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
+            with open(path, "rb") as handle:
+                payload = handle.read()
+            entry = json.loads(payload.decode("utf-8"))
             if entry["schema"] != STORE_SCHEMA_VERSION or entry["key"] != key:
                 raise ConfigurationError("store entry key/schema mismatch")
             record = SweepRecord.from_snapshot(entry["record"])
             if point is not None and record.point != point:
                 raise ConfigurationError("store entry point mismatch")
         except FileNotFoundError:
-            self.misses += 1
+            self._note("get", key, "miss", None, misses=1)
             return None
         except Exception:
             # Treat every malformed entry as a (counted) miss, never an
             # error: the store is a cache, and re-simulation repairs it.
-            self.invalid += 1
-            self.misses += 1
+            # Deleting the bad entry here (racing readers may both try;
+            # unlink is idempotent) lets the repairing put() through the
+            # write-once existence check.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._note("get", key, "invalid", payload, invalid=1, misses=1)
             return None
-        self.hits += 1
+        self._note("get", key, "hit", payload, hits=1)
         return record
 
     def put(self, key: str, record: SweepRecord) -> pathlib.Path:
-        """Persist one record under ``key`` (atomic replace); returns its path."""
+        """Persist one record under ``key``; returns its entry path.
+
+        Write-once: if the entry already exists it is left untouched (the
+        content of a key is a pure function of its spec, so the first
+        completed writer's bytes are every writer's bytes) and the call
+        counts as ``redundant``.  Writers that race past the existence
+        check each write their own uniquely-named temp file and atomically
+        :func:`os.replace` it in — identical bytes either way, and never
+        a torn entry.
+        """
         path = self.entry_path(key)
+        if path.exists():
+            self._note("put", key, "redundant", None, redundant_puts=1)
+            return path
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
             "record": record.snapshot(include_timeline=True),
         }
-        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, sort_keys=True, separators=(",", ":"))
-        os.replace(tmp, path)
-        self.puts += 1
+        payload = json.dumps(entry, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        with self._lock:
+            serial = next(self._tmp_counter)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}"
+                             f"-{threading.get_ident()}-{serial}")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        self._note("put", key, "stored", payload, puts=1)
         return path
 
     # -- management ----------------------------------------------------------
@@ -180,14 +332,21 @@ class SweepStore:
     def stats(self) -> StoreStats:
         """Scan the directory and combine with the session counters."""
         entries = self._entries()
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:  # raced with gc/invalidate from another thread
+                pass
         return StoreStats(
             directory=str(self._directory),
             entries=len(entries),
-            total_bytes=sum(path.stat().st_size for path in entries),
+            total_bytes=total,
             hits=self.hits,
             misses=self.misses,
             puts=self.puts,
             invalid=self.invalid,
+            redundant_puts=self.redundant_puts,
         )
 
     def gc(self, max_entries: Optional[int] = None,

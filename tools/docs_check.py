@@ -22,6 +22,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import repro  # noqa: E402  (path bootstrap above)
 import repro.cache  # noqa: E402
 import repro.coordl  # noqa: E402
+import repro.serve  # noqa: E402
 import repro.sim  # noqa: E402
 import repro.store  # noqa: E402
 
@@ -32,6 +33,7 @@ CHECKED_SURFACES = (
     ("repro.coordl", repro.coordl),
     ("repro.cache", repro.cache),
     ("repro.store", repro.store),
+    ("repro.serve", repro.serve),
 )
 
 

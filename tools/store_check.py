@@ -10,12 +10,20 @@ the store contract end to end:
 * the warm :meth:`~repro.sim.sweep.SweepResult.snapshot` is byte-identical
   to the cold one.
 
+With ``--serve`` the same contract is enforced *through the serve daemon*
+(``repro.serve``): every committed golden grid is fetched twice over HTTP
+from an in-process :class:`~repro.serve.ServeDaemon`; the cold pass may
+simulate, the warm pass must simulate nothing, and both passes must
+rehydrate byte-identical to the committed ``tests/golden`` snapshots.
+Request latency percentiles land in ``BENCH_serve.json``.
+
 Store statistics land in ``BENCH_store.json`` at the repository root so CI
 can upload them alongside ``BENCH_sweep.json``.
 
-Run as ``make store-check`` (or ``PYTHONPATH=src python tools/store_check.py``).
-The store directory comes from ``REPRO_SWEEP_STORE`` when set (what the CI
-leg does), else a temporary directory.
+Run as ``make store-check`` / ``make serve-check`` (or
+``PYTHONPATH=src python tools/store_check.py [--serve]``).  The store
+directory comes from ``REPRO_SWEEP_STORE`` when set (what the CI leg
+does), else a temporary directory.
 """
 
 from __future__ import annotations
@@ -31,15 +39,25 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.sim.harness import GOLDEN_GRIDS, snapshot_diff  # noqa: E402
+from repro.sim.harness import (  # noqa: E402
+    GOLDEN_GRIDS,
+    load_golden,
+    snapshot_diff,
+)
 from repro.sim.sweep import SweepRunner  # noqa: E402
 from repro.store import STORE_ENV_VAR, SweepStore  # noqa: E402
 
 #: Grids the gate replays (cheap but covering all three record kinds).
 CHECKED_GRIDS = ("fig3_small", "fig9b_small", "tab7_small")
 
+#: Where the committed golden snapshots live.
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
 #: Where the store statistics land (repo root, uploaded as a CI artifact).
 REPORT_PATH = REPO_ROOT / "BENCH_store.json"
+
+#: Where the serve gate's latency percentiles land.
+SERVE_REPORT_PATH = REPO_ROOT / "BENCH_serve.json"
 
 
 def run_gate(directory: pathlib.Path) -> dict:
@@ -102,8 +120,72 @@ def run_gate(directory: pathlib.Path) -> dict:
     }
 
 
+def run_serve_gate(directory: pathlib.Path) -> dict:
+    """Golden round-trip through the serve daemon (raises on fail).
+
+    Every committed golden grid, fetched twice over HTTP from one
+    in-process daemon: the warm pass must do zero simulations, and both
+    passes must rehydrate byte-identical to ``tests/golden``.
+    """
+    from repro.serve import ServeClient, ServeDaemon
+
+    simulated = []
+    original_run_point = SweepRunner._run_point
+
+    def counting_run_point(self, point):
+        simulated.append(point)
+        return original_run_point(self, point)
+
+    # workers=0 keeps simulation on the daemon's batch threads, inside this
+    # process, so the counting hook actually fences it.
+    SweepRunner._run_point = counting_run_point
+    latencies = {"cold_s": [], "warm_s": []}
+    try:
+        with ServeDaemon(port=0, store=directory) as daemon:
+            client = ServeClient(daemon.url)
+            for passname in ("cold_s", "warm_s"):
+                before = len(simulated)
+                for name, grid in GOLDEN_GRIDS.items():
+                    runner = grid.build_runner()
+                    start = time.perf_counter()
+                    results = client.whatif(runner, grid.points())
+                    latencies[passname].append(time.perf_counter() - start)
+                    bad = [r.status for r in results if r.status != "ok"]
+                    if bad:
+                        raise AssertionError(
+                            f"{name} ({passname}): non-ok statuses {bad}")
+                    served = {"records": [r.record.snapshot()
+                                          for r in results]}
+                    diffs = snapshot_diff(load_golden(name, GOLDEN_DIR),
+                                          served)
+                    if diffs:
+                        raise AssertionError(
+                            f"{name} ({passname}): served records diverge "
+                            f"from the committed golden (first: {diffs})")
+                if passname == "warm_s" and len(simulated) > before:
+                    raise AssertionError(
+                        f"warm serve pass simulated {len(simulated) - before} "
+                        "points (expected pure store reads)")
+            stats = client.stats()
+    finally:
+        SweepRunner._run_point = original_run_point
+
+    return {
+        "schema": "repro-serve-gate/1",
+        "grids": sorted(GOLDEN_GRIDS),
+        "points": len(simulated),
+        "cold_s": round(sum(latencies["cold_s"]), 6),
+        "warm_s": round(sum(latencies["warm_s"]), 6),
+        "latency": stats["latency"],
+        "batcher": stats["batcher"],
+        "store": stats.get("store", {}),
+    }
+
+
 def main() -> int:
+    serve = "--serve" in sys.argv[1:]
     env_dir = os.environ.get(STORE_ENV_VAR, "").strip()
+    gate = run_serve_gate if serve else run_gate
     if env_dir:
         # A fresh scratch store *under* the configured directory: the gate's
         # cold pass must start from zero entries, and the ambient store may
@@ -112,12 +194,22 @@ def main() -> int:
         pathlib.Path(env_dir).mkdir(parents=True, exist_ok=True)
         scratch = tempfile.mkdtemp(prefix="store-gate-", dir=env_dir)
         try:
-            payload = run_gate(pathlib.Path(scratch))
+            payload = gate(pathlib.Path(scratch))
         finally:
             shutil.rmtree(scratch, ignore_errors=True)
     else:
         with tempfile.TemporaryDirectory() as scratch:
-            payload = run_gate(pathlib.Path(scratch) / "sweep-store")
+            payload = gate(pathlib.Path(scratch) / "sweep-store")
+    if serve:
+        SERVE_REPORT_PATH.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"serve-check: {payload['points']} points over "
+              f"{len(payload['grids'])} golden grids served byte-identical "
+              f"over HTTP; warm pass pure store reads (cold "
+              f"{payload['cold_s']:.2f} s, warm {payload['warm_s']:.2f} s); "
+              f"latency -> {SERVE_REPORT_PATH.name}")
+        return 0
     REPORT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
                            encoding="utf-8")
     print(f"store-check: {payload['points']} points over "
