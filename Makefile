@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-workers bench bench-json bench-smoke bench-parallel \
-        docs-check store-check serve-check check
+        bench-store docs-check store-check store-check-sqlite serve-check \
+        check
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -45,11 +46,24 @@ bench-parallel:
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
-## Result-store round-trip gate: cold grid run populates the store, warm
-## run must be all hits, zero simulations and byte-identical; store stats
-## land in BENCH_store.json (repo root).
+## Result-store round-trip gate, run against BOTH backends (the JSON
+## directory and the sqlite:// database): cold grid run populates the
+## store, warm run must be all hits, zero simulations and byte-identical;
+## per-backend store stats and a json-vs-sqlite comparison land in
+## BENCH_store.json (repo root).
 store-check:
 	$(PYTHON) tools/store_check.py
+
+## Alias: the same gate against only the SQLite backend.
+store-check-sqlite:
+	$(PYTHON) tools/store_check.py --backend sqlite
+
+## Backend micro-benchmark: a 1000-entry warm read+stats workload where the
+## SQLite backend must beat the JSON directory by
+## $$REPRO_BENCH_MIN_SQLITE_SPEEDUP (default 3x); results merge into
+## BENCH_sweep.json.
+bench-store:
+	$(PYTHON) -m pytest -q -s benchmarks/test_store_backends.py
 
 ## Serve-layer gate: the concurrency + fault test harness for the what-if
 ## daemon and the write-once store, then every committed golden grid served

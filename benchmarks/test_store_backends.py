@@ -1,0 +1,116 @@
+"""Benchmark: SQLite store backend vs the JSON-directory backend, warm.
+
+Populates each :class:`~repro.store.StoreBackend` with a 1000-entry
+synthetic grid (one realistic record snapshot reused under 1000 distinct
+content-addressed keys — the backend stores opaque snapshots, so key
+diversity is what exercises the index) and replays the serve daemon's
+steady-state workload against it: a full warm read of every entry with a
+``stats()`` probe every 20 reads (what ``/v1/stats`` polling against a
+busy daemon looks like).
+
+Asserts that
+
+* both backends rehydrate every entry intact (equal snapshots, zero
+  misses), and
+* the SQLite backend finishes the mixed read+stats workload at least
+  ``REPRO_BENCH_MIN_SQLITE_SPEEDUP``x (default 3x) faster than the JSON
+  directory — the index answers ``stats`` without a directory scan, which
+  is the whole point of the backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Tuple
+
+import pytest
+
+from repro.store.backend import (
+    JsonDirBackend,
+    SqliteBackend,
+    StoreBackend,
+)
+
+#: Advantage the SQLite backend must demonstrate on the mixed workload.
+#: Overridable so shared CI runners (noisy neighbours, slow disks) can
+#: soften the timing gate without touching the integrity gate.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SQLITE_SPEEDUP", "3.0"))
+
+#: Entries in the synthetic grid.
+ENTRIES = 1000
+
+#: One ``stats()`` probe per this many reads (the serve-daemon mix).
+STATS_EVERY = 20
+
+#: A realistic record snapshot: point identity, per-epoch metrics, and a
+#: short fetch timeline — the shape (and rough size) of what
+#: :meth:`~repro.sim.sweep.SweepRecord.snapshot` persists.
+SNAPSHOT = {
+    "point": {"label": "synthetic", "model": "resnet18", "workers": 4},
+    "metrics": {"epoch_s": [1.25] * 8, "stall_s": [0.5] * 8,
+                "hit_rate": [0.62] * 8},
+    "timeline": [{"t": round(i * 0.01, 2), "ev": "fetch", "idx": i}
+                 for i in range(40)],
+}
+
+KEYS = [hashlib.blake2b(f"synthetic-{i}".encode(), digest_size=16).hexdigest()
+        for i in range(ENTRIES)]
+
+
+def _populate(backend: StoreBackend) -> None:
+    for key in KEYS:
+        assert backend.put(key, SNAPSHOT, label="synthetic") is not None
+
+
+def _mixed_workload(backend: StoreBackend) -> Tuple[float, int]:
+    """Warm-read every entry with periodic stats; return (seconds, misses)."""
+    misses = 0
+    start = time.perf_counter()
+    for index, key in enumerate(KEYS):
+        hit = backend.get(key)
+        if hit is None or hit[0] != SNAPSHOT:
+            misses += 1
+        if index % STATS_EVERY == 0:
+            entries, _, _ = backend.stats()
+            if entries != ENTRIES:
+                misses += 1
+    return time.perf_counter() - start, misses
+
+
+@pytest.mark.benchmark(group="store-backends")
+def test_sqlite_backend_warm_reads_and_stats_beat_json_dir(tmp_path,
+                                                           bench_report):
+    json_backend = JsonDirBackend(tmp_path / "store")
+    sqlite_backend = SqliteBackend(tmp_path / "store.db")
+    try:
+        _populate(json_backend)
+        _populate(sqlite_backend)
+
+        json_s, json_misses = _mixed_workload(json_backend)
+        sqlite_s, sqlite_misses = _mixed_workload(sqlite_backend)
+
+        assert json_misses == 0, f"json backend corrupted {json_misses} reads"
+        assert sqlite_misses == 0, (
+            f"sqlite backend corrupted {sqlite_misses} reads")
+
+        speedup = json_s / sqlite_s
+        _, _, json_disk = json_backend.stats()
+        _, _, sqlite_disk = sqlite_backend.stats()
+    finally:
+        json_backend.close()
+        sqlite_backend.close()
+
+    print(f"\nstore backends, {ENTRIES} warm entries, stats every "
+          f"{STATS_EVERY} reads: json {json_s * 1e3:.0f} ms "
+          f"({json_disk:,} B on disk), sqlite {sqlite_s * 1e3:.0f} ms "
+          f"({sqlite_disk:,} B) -> {speedup:.2f}x")
+    bench_report.record("store_backends_1k", points=ENTRIES,
+                        reference_s=json_s, fast_s=sqlite_s,
+                        json_disk_bytes=json_disk,
+                        sqlite_disk_bytes=sqlite_disk,
+                        stats_every=STATS_EVERY)
+    assert speedup >= MIN_SPEEDUP, (
+        f"sqlite backend only {speedup:.2f}x faster on the mixed warm "
+        f"read+stats workload (need {MIN_SPEEDUP}x)")

@@ -11,7 +11,8 @@ any Python:
 * ``python -m repro report -o EXPERIMENTS.md`` — regenerate the full
   paper-vs-measured report.
 * ``python -m repro store stats`` — inspect/manage the content-addressed
-  sweep result store (also ``gc``, ``invalidate``).
+  sweep result store (also ``gc``, ``invalidate``, and ``migrate`` for
+  converting between the JSON-directory and ``sqlite://`` backends).
 * ``python -m repro serve --store CACHE --workers 4`` — start the
   long-running what-if daemon (one shared store + worker pool; concurrent
   queries coalesce).
@@ -102,9 +103,18 @@ def _build_parser() -> argparse.ArgumentParser:
                            "re-simulation, e.g. after simulator changes")
     invalidate.add_argument("--prefix", default="",
                             help="only drop keys starting with this hex prefix")
-    for command in (stats, gc, invalidate):
+    migrate = store_sub.add_parser(
+        "migrate", help="copy every entry into another store backend "
+                        "(JSON directory <-> sqlite:// database), "
+                        "preserving keys and record bytes")
+    migrate.add_argument("--to", dest="dest", required=True, metavar="STORE",
+                         help="destination store: a directory or a "
+                              "sqlite://FILE URI")
+    for command in (stats, gc, invalidate, migrate):
         command.add_argument("--store", dest="store_dir", default=None,
-                             help=f"store directory (default: ${STORE_ENV_VAR})")
+                             help="store location: a directory or a "
+                                  f"sqlite://FILE URI (default: "
+                                  f"${STORE_ENV_VAR})")
 
     serve = sub.add_parser(
         "serve", help="start the long-running what-if sweep daemon")
@@ -231,17 +241,27 @@ def _open_store(store_dir: Optional[str]) -> SweepStore:
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import migrate_store
+
     store = _open_store(args.store_dir)
     if args.store_command == "stats":
         stats = store.stats()
-        print(f"store {stats.directory}: {stats.entries} entries, "
-              f"{stats.total_bytes:,} bytes")
+        print(f"store {stats.directory} [{stats.backend}]: "
+              f"{stats.entries} entries, {stats.total_bytes:,} bytes "
+              f"({stats.disk_bytes:,} on disk)")
     elif args.store_command == "gc":
         removed = store.gc(max_entries=args.max_entries,
                            max_bytes=args.max_bytes)
         stats = store.stats()
         print(f"gc removed {removed} entries; {stats.entries} entries, "
               f"{stats.total_bytes:,} bytes remain")
+    elif args.store_command == "migrate":
+        dest = SweepStore(args.dest)
+        migrated = migrate_store(store, dest)
+        stats = dest.stats()
+        print(f"migrated {migrated} entries to {stats.directory} "
+              f"[{stats.backend}]: {stats.entries} entries, "
+              f"{stats.total_bytes:,} bytes")
     else:  # invalidate (argparse enforces the choices)
         removed = store.invalidate(prefix=args.prefix)
         what = f"prefix {args.prefix!r}" if args.prefix else "all entries"

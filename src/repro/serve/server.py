@@ -95,8 +95,11 @@ class ServeDaemon:
             in-process test harness uses exactly that), readable from
             :attr:`address` / :attr:`url` after construction.
         store: Shared result store (:class:`~repro.store.StoreArg`
-            semantics: a store, a path, ``None`` for the environment
-            default, ``False`` for no store).
+            semantics: a store, a directory path or ``sqlite://PATH``
+            URI, ``None`` for the environment default, ``False`` for no
+            store).  The SQLite backend's WAL mode gives the serving
+            threads real concurrent reads — warm queries never serialise
+            behind a writer.
         workers: Size of the shared :class:`~repro.store.PersistentPool`
             simulations fan out over; ``0`` simulates on batch threads
             (in-process — what the tests use).
@@ -273,6 +276,8 @@ class ServeDaemon:
             "uptime_s": round(time.monotonic() - self._started, 3),
             "store": (str(self._store.directory)
                       if self._store is not None else None),
+            "store_backend": (self._store.backend.kind
+                              if self._store is not None else None),
             "pool_workers": self._pool.workers if self._pool else 0,
         }
 

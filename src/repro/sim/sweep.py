@@ -778,10 +778,13 @@ class SweepRunner:
 
         Args:
             points: Sweep points to simulate; the result keeps their order.
-            workers: Worker processes to fan the grid out over.  ``0`` (and
-                single-point grids) simulate in-process; ``None`` reads the
-                :data:`WORKERS_ENV_VAR` environment variable, defaulting to
-                ``0``.  Counts above ``os.cpu_count()`` are clamped to it
+            workers: Worker processes to fan the grid out over.  ``0`` and
+                ``1`` (and single-point grids) simulate in-process — a
+                one-worker spawn pool would pay the spawn and
+                substrate-rebuild cost for no parallelism; ``None`` reads
+                the :data:`WORKERS_ENV_VAR` environment variable,
+                defaulting to ``0``.  Counts above ``os.cpu_count()`` are
+                clamped to it
                 (oversubscribing a small machine degrades toward serial
                 speed, it never helps).  Results are byte-identical for
                 every value.
@@ -818,7 +821,11 @@ class SweepRunner:
                 *before* the failure (or an interruption) already are —
                 the retry resumes from them.
         """
-        from repro.store import resolve_store  # local: repro.store imports us
+        from repro.store import (  # local: repro.store imports us
+            resolve_store,
+            runner_spec_digest,
+            store_key,
+        )
 
         points = list(points)
         workers = self._resolve_workers(workers)
@@ -840,11 +847,16 @@ class SweepRunner:
                     raise
                 sweep_store = None
         keys: List[Optional[str]] = [None] * len(points)
+        runner_digest = ""
         to_run = list(enumerate(points))
         if sweep_store is not None:
             to_run = []
             for index, point in enumerate(points):
-                keys[index] = sweep_store.key_for(self, point)
+                spec = self.point_spec(point)
+                if not runner_digest:
+                    # Index metadata: identical for every point of a run.
+                    runner_digest = runner_spec_digest(spec["runner"])
+                keys[index] = store_key(spec)
                 hit = sweep_store.get(keys[index], point)
                 if hit is None:
                     to_run.append((index, point))
@@ -860,7 +872,8 @@ class SweepRunner:
             # instead of re-paying the full grid.
             records[index] = record
             if sweep_store is not None:
-                sweep_store.put(keys[index], record)
+                sweep_store.put(keys[index], record,
+                                runner_digest=runner_digest)
             if on_record is not None:
                 on_record(index, record)
 
@@ -868,7 +881,10 @@ class SweepRunner:
             if pool is not None:
                 pool.run_points(self.spec(), to_run, chunksize,
                                 on_record=commit)
-            elif workers == 0 or len(to_run) <= 1:
+            elif workers <= 1 or len(to_run) <= 1:
+                # workers<=1 degrades to the serial executor outright: a
+                # clamped-to-1 spawn pool still pays the full spawn +
+                # substrate-rebuild cost for zero parallelism.
                 for index, point in to_run:
                     commit(index, self._run_point_guarded(point))
             else:

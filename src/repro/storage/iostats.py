@@ -9,6 +9,14 @@ The timeline is materialised lazily: the vectorised fetch path records whole
 epochs as numpy array chunks, and the per-sample ``(time, bytes)`` tuples are
 only built when :attr:`IOStats.timeline` is actually read (the Fig. 11
 experiment; most sweeps never look).
+
+Recording is single-threaded (it happens inside one simulation), but
+*reading* is not: concurrent store writers snapshot the same finished
+record from several threads (``repro.store``'s write-once puts race by
+design).  Samples and pending chunks therefore live in one tuple attribute
+that materialisation replaces atomically — concurrent readers either
+re-merge to the identical list or see the final state, never a partially
+materialised or double-extended timeline.
 """
 
 from __future__ import annotations
@@ -38,9 +46,11 @@ class IOStats:
         self.cache_requests = cache_requests
         self.remote_bytes = remote_bytes
         self.remote_requests = remote_requests
-        self._timeline: List[Tuple[float, float]] = []
-        # (times, cumulative bytes) array chunks not yet converted to tuples.
-        self._timeline_chunks: List[Tuple[np.ndarray, np.ndarray]] = []
+        # (materialised samples, pending array chunks) — always read and
+        # replaced as one tuple so concurrent timeline reads are coherent.
+        self._timeline_state: Tuple[List[Tuple[float, float]],
+                                    List[Tuple[np.ndarray, np.ndarray]]] = (
+            [], [])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"IOStats(disk_bytes={self.disk_bytes}, "
@@ -50,26 +60,34 @@ class IOStats:
 
     @property
     def timeline(self) -> List[Tuple[float, float]]:
-        """Per-read ``(time, cumulative disk bytes)`` samples, materialised."""
-        if self._timeline_chunks:
-            for times, cumulative in self._timeline_chunks:
-                self._timeline.extend(zip(times.tolist(), cumulative.tolist()))
-            self._timeline_chunks.clear()
-        return self._timeline
+        """Per-read ``(time, cumulative disk bytes)`` samples, materialised.
+
+        Safe under concurrent readers: the merge builds a fresh list from
+        one coherent ``(samples, chunks)`` snapshot and publishes it in a
+        single attribute assignment.  Racing readers repeat the identical
+        merge; none ever extends a list another reader already returned.
+        """
+        samples, chunks = self._timeline_state
+        if chunks:
+            merged = list(samples)
+            for times, cumulative in chunks:
+                merged.extend(zip(times.tolist(), cumulative.tolist()))
+            self._timeline_state = (merged, [])
+            return merged
+        return samples
 
     @timeline.setter
     def timeline(self, samples: Sequence[Tuple[float, float]]) -> None:
-        self._timeline = list(samples)
-        self._timeline_chunks.clear()
+        self._timeline_state = (list(samples), [])
 
     def record_disk(self, nbytes: float, at_time: float | None = None) -> None:
         """Account one read served by the storage device."""
         self.disk_bytes += nbytes
         self.disk_requests += 1
         if at_time is not None:
-            if self._timeline_chunks:
-                _ = self.timeline  # materialise pending chunks in order
-            self._timeline.append((at_time, self.disk_bytes))
+            # Materialises pending chunks first so samples stay in order
+            # (recording is single-threaded; see module docstring).
+            self.timeline.append((at_time, self.disk_bytes))
 
     def record_disk_bulk(self, sizes: Sequence[float],
                          at_times: Optional[Sequence[float]] = None) -> None:
@@ -83,8 +101,11 @@ class IOStats:
         sizes = np.asarray(sizes, dtype=np.float64)
         if at_times is not None:
             cumulative = self.disk_bytes + np.cumsum(sizes)
-            self._timeline_chunks.append(
-                (np.asarray(at_times, dtype=np.float64), cumulative))
+            samples, chunks = self._timeline_state
+            self._timeline_state = (
+                samples,
+                chunks + [(np.asarray(at_times, dtype=np.float64),
+                           cumulative)])
         self.disk_bytes += float(sizes.sum())
         self.disk_requests += int(sizes.size)
 
@@ -140,8 +161,8 @@ class IOStats:
             remote_bytes=self.remote_bytes,
             remote_requests=self.remote_requests,
         )
-        snapshot._timeline = list(self._timeline)
-        snapshot._timeline_chunks = list(self._timeline_chunks)
+        samples, chunks = self._timeline_state
+        snapshot._timeline_state = (list(samples), list(chunks))
         return snapshot
 
     def merged_with(self, other: "IOStats") -> "IOStats":
@@ -165,5 +186,4 @@ class IOStats:
         self.cache_requests = 0
         self.remote_bytes = 0.0
         self.remote_requests = 0
-        self._timeline.clear()
-        self._timeline_chunks.clear()
+        self._timeline_state = ([], [])

@@ -22,6 +22,12 @@ arbitrarily many different runners.  Determinism is inherited from the
 per-point seeding discipline of :meth:`~repro.sim.sweep.SweepRunner.point_seed`:
 results are byte-identical to the serial executor, whichever worker
 simulates which point in whichever order.
+
+Store interaction is parent-side only: workers never open a
+:class:`~repro.store.SweepStore` — the calling run resolves hits, ships
+only the misses to the pool, and writes results back through whichever
+:class:`~repro.store.StoreBackend` the store was opened on.  The pool is
+therefore backend-agnostic by construction.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Content-addressed, on-disk store of sweep results.
+"""Content-addressed store of sweep results, over pluggable backends.
 
 Every figure/table in the reproduction is a :class:`~repro.sim.sweep.SweepRunner`
 grid, and every grid point is a pure function of its configuration: the
@@ -7,75 +7,149 @@ runner spec, the point spec and the result-affecting environment flags
 identity).  :class:`SweepStore` memoises those functions on disk — the
 serve-many-queries discipline of DS-Analyzer-style what-if tooling — so a
 repeated ``report`` run, a re-run of one changed experiment, or a what-if
-query over an already-simulated grid reduces to file reads.
+query over an already-simulated grid reduces to store reads.
 
-Layout: one JSON file per record at ``<dir>/<key[:2]>/<key>.json`` (the
-two-hex-character shard keeps directories small for large stores).  Each
-entry carries the store schema version, its own key and the record's
-fully-invertible snapshot
-(:meth:`~repro.sim.sweep.SweepRecord.snapshot` with embedded timelines).
-Entries are written atomically (a uniquely-named temp file +
-:func:`os.replace`), so a crashed writer can leave a stray temp file but
-never a torn entry; any unreadable, mis-keyed, wrong-schema or
-wrong-point entry is treated as a miss, deleted, and repaired by the
-re-simulation — corruption can cost time, never correctness.
+Storage is delegated to a :class:`~repro.store.backend.StoreBackend`
+(:class:`~repro.store.backend.JsonDirBackend` for plain directory
+locations — byte-for-byte the original one-JSON-file-per-entry layout —
+or :class:`~repro.store.backend.SqliteBackend` for ``sqlite://PATH``
+locations: one WAL-mode database whose SQL index answers ``stats`` /
+``gc`` / ``invalidate`` without directory scans and whose payloads are
+compressed snapshot bytes).  This frontend owns everything that must not
+drift between backends: session counters, the operation trace,
+rehydration (:meth:`~repro.sim.sweep.SweepRecord.from_snapshot`) and the
+point guard.  Corruption of any entry degrades to a counted miss, is
+deleted, and is repaired by re-simulation — it can cost time, never
+correctness.
+
+The store key covers, besides the runner/point/env spec, a digest of the
+``repro.sim`` and ``repro.cache`` *source trees* (:func:`source_digest`):
+editing the simulator orphans every previously stored entry instead of
+serving bytes computed by different code — stale hits are structurally
+impossible, not a discipline.
 
 The store is **concurrency-safe** — the contract the serve layer
 (:mod:`repro.serve`) builds on:
 
 * entries are *write-once*: a key's content is a pure function of its
   spec, so the first completed writer wins and later writers of the same
-  key detect the existing entry and skip (counted as ``redundant_puts``).
-  Two racing writers that both miss the existence check still converge —
-  each performs an atomic replace of identical bytes;
-* temp files are unique per (process, thread, attempt), so concurrent
-  writers in one process can never interleave onto a shared temp file;
+  key are skipped (counted as ``redundant_puts``).  The JSON backend
+  converges through atomic same-bytes replaces; the SQLite backend
+  through a single conflict-ignoring insert;
 * session counters are guarded by a lock, and an optional **operation
-  trace** (``SweepStore(directory, trace=True)``) records every get/put
-  with a digest of the entry bytes it saw — :func:`verify_store_trace`
+  trace** (``SweepStore(location, trace=True)``) records every get/put
+  with a digest of the stored bytes it saw — :func:`verify_store_trace`
   replays the trace and checks the write-once read/write consistency
   contract over it (in the spirit of PRAM-consistency trace checking),
-  which is how the concurrency tests prove that readers can never observe
-  torn or cross-served bytes.
+  which is how the concurrency tests prove, per backend, that readers
+  can never observe torn or cross-served bytes.
 """
 
 from __future__ import annotations
 
 import hashlib
-import itertools
 import json
 import os
 import pathlib
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.exceptions import ConfigurationError
 from repro.sim.sweep import SweepPoint, SweepRecord, SweepRunner
+from repro.store.backend import (
+    STORE_SCHEMA_VERSION,
+    EntryInvalid,
+    JsonDirBackend,
+    SqliteBackend,
+    StoreBackend,
+    open_backend,
+)
 
-#: Environment variable supplying the default store directory of
+__all__ = [
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA_VERSION",
+    "StoreArg",
+    "StoreStats",
+    "StoreTraceEvent",
+    "SweepStore",
+    "migrate_store",
+    "resolve_store",
+    "runner_spec_digest",
+    "source_digest",
+    "store_key",
+    "verify_store_trace",
+]
+
+#: Environment variable supplying the default store location of
 #: :meth:`repro.sim.sweep.SweepRunner.run` (and therefore of every
 #: sweep-backed experiment and the CLI) when no explicit ``store`` is
-#: passed.  Unset or empty means "no store".
+#: passed.  A directory path or a ``sqlite://PATH`` URI; unset or empty
+#: means "no store".
 STORE_ENV_VAR = "REPRO_SWEEP_STORE"
 
-#: Version of the on-disk entry format.  It participates in every content
-#: address, so bumping it orphans (never corrupts) all previous entries —
-#: a stale-schema entry can simply never be looked up again.
-STORE_SCHEMA_VERSION = 1
+#: Memoised :func:`source_digest` value (the source tree cannot change
+#: under a running process in any way the digest should chase).
+_SOURCE_DIGEST: Optional[str] = None
+
+
+def source_digest() -> str:
+    """Digest of the simulator's source code, folded into every store key.
+
+    Covers every ``.py`` file under the ``repro.sim`` and ``repro.cache``
+    packages (the two trees whose code determines simulated bytes), as
+    relative path plus contents, so *any* simulator edit moves every
+    content address: a store can never serve a hit computed by code that
+    no longer exists.  This replaces "remember to ``repro store
+    invalidate`` after simulator changes" with a structural guarantee
+    (``invalidate`` remains for out-of-tree causes).  Memoised per
+    process; unreadable files are skipped (a partial digest still
+    changes whenever readable source does).
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        import repro.cache
+        import repro.sim
+        digest = hashlib.blake2b(digest_size=8)
+        for package in (repro.cache, repro.sim):
+            root = pathlib.Path(package.__file__).resolve().parent
+            for path in sorted(root.rglob("*.py")):
+                digest.update(str(path.relative_to(root.parent)).encode())
+                digest.update(b"\0")
+                try:
+                    digest.update(path.read_bytes())
+                except OSError:
+                    pass
+                digest.update(b"\0")
+        _SOURCE_DIGEST = digest.hexdigest()
+    return _SOURCE_DIGEST
 
 
 def store_key(spec: Dict[str, Any]) -> str:
     """Stable BLAKE2 content address of one canonical point spec.
 
     ``spec`` is :meth:`~repro.sim.sweep.SweepRunner.point_spec` output (or
-    anything JSON-stable); the digest covers the spec *and*
-    :data:`STORE_SCHEMA_VERSION`, rendered as canonical JSON (sorted keys,
-    no whitespace) so dict ordering can never move the address.
+    anything JSON-stable); the digest covers the spec,
+    :data:`STORE_SCHEMA_VERSION` *and* the simulator
+    :func:`source_digest`, rendered as canonical JSON (sorted keys, no
+    whitespace) so dict ordering can never move the address.
     """
-    payload = json.dumps({"schema": STORE_SCHEMA_VERSION, "spec": spec},
+    payload = json.dumps({"schema": STORE_SCHEMA_VERSION,
+                          "source": source_digest(), "spec": spec},
                          sort_keys=True, separators=(",", ":"))
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def runner_spec_digest(runner_spec: Dict[str, Any]) -> str:
+    """Short digest of one canonical runner spec (store index metadata).
+
+    :meth:`~repro.sim.sweep.SweepRunner.run` stamps it on every entry it
+    writes, so an indexed backend can answer "which runner configuration
+    produced these entries" (and group/prune by it) without unpacking a
+    single payload.
+    """
+    payload = json.dumps(runner_spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -88,7 +162,7 @@ class StoreTraceEvent:
         key: Content address the operation targeted.
         outcome: ``"hit"`` / ``"miss"`` / ``"invalid"`` for gets;
             ``"stored"`` / ``"redundant"`` for puts.
-        digest: BLAKE2 digest of the entry bytes the operation read or
+        digest: BLAKE2 digest of the stored bytes the operation read or
             wrote (``None`` when nothing was read/written — a plain miss
             or a skipped redundant put).
         thread: ``threading.get_ident()`` of the operating thread.
@@ -118,7 +192,10 @@ def verify_store_trace(events: List[StoreTraceEvent]) -> List[str]:
 
     Returns a list of human-readable violations; an empty list means the
     trace is consistent.  Torn reads, cross-served keys and lost updates
-    all surface as digest mismatches here.
+    all surface as digest mismatches here.  The properties are
+    backend-independent (digests are of whatever bytes the backend
+    physically stores), which is how one checker re-proves the contract
+    for each backend.
     """
     violations: List[str] = []
     written: Dict[str, Dict[str, int]] = {}
@@ -151,10 +228,13 @@ def verify_store_trace(events: List[StoreTraceEvent]) -> List[str]:
 class StoreStats:
     """On-disk footprint plus this-process session counters of one store.
 
-    ``entries``/``total_bytes`` come from a directory scan at call time;
-    the session counters count what *this* :class:`SweepStore` instance
-    served since construction (the CI store leg asserts a warm run is
-    all hits through them).
+    ``entries``/``total_bytes``/``disk_bytes`` come from the backend's
+    index (one directory scan for JSON, one SQL aggregate for SQLite) at
+    call time; the session counters count what *this*
+    :class:`SweepStore` instance served since construction (the CI store
+    leg asserts a warm run is all hits through them).  ``total_bytes``
+    is stored entry bytes; ``disk_bytes`` the physical footprint (for
+    SQLite: database + WAL + shared-memory files).
     """
 
     directory: str
@@ -165,13 +245,17 @@ class StoreStats:
     puts: int
     invalid: int
     redundant_puts: int = 0
+    backend: str = "json"
+    disk_bytes: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON dumps in the CI store leg)."""
+        """Plain-dict form (JSON dumps in the CI store leg and /v1/stats)."""
         return {
             "directory": self.directory,
+            "backend": self.backend,
             "entries": self.entries,
             "total_bytes": self.total_bytes,
+            "disk_bytes": self.disk_bytes,
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
@@ -181,10 +265,13 @@ class StoreStats:
 
 
 class SweepStore:
-    """Content-addressed sweep-record store rooted at one directory.
+    """Content-addressed sweep-record store over one storage backend.
 
     Args:
-        directory: Store root; created (with parents) if missing.
+        location: Store location — a directory path (JSON backend), a
+            ``sqlite://PATH`` URI (SQLite backend), or an already-open
+            :class:`~repro.store.backend.StoreBackend`.  Created if
+            missing.
         trace: Record every get/put as a :class:`StoreTraceEvent` in
             :attr:`trace_events` (with a digest of the bytes involved),
             for :func:`verify_store_trace`-style consistency checking.
@@ -200,12 +287,13 @@ class SweepStore:
     key — write-once semantics.
     """
 
-    def __init__(self, directory: Union[str, os.PathLike],
+    def __init__(self, location: Union[str, os.PathLike, StoreBackend],
                  trace: bool = False) -> None:
-        self._directory = pathlib.Path(directory)
-        self._directory.mkdir(parents=True, exist_ok=True)
+        if isinstance(location, StoreBackend):
+            self._backend = location
+        else:
+            self._backend = open_backend(location)
         self._lock = threading.Lock()
-        self._tmp_counter = itertools.count()
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -229,17 +317,38 @@ class SweepStore:
                     thread=threading.get_ident()))
 
     @property
+    def backend(self) -> StoreBackend:
+        """The storage backend this store fronts."""
+        return self._backend
+
+    @property
     def directory(self) -> pathlib.Path:
-        """Root directory of the store."""
-        return self._directory
+        """Filesystem root of the store (db file for the SQLite backend)."""
+        return self._backend.path
 
     def key_for(self, runner: SweepRunner, point: SweepPoint) -> str:
         """Content address of one point under one runner configuration."""
         return store_key(runner.point_spec(point))
 
     def entry_path(self, key: str) -> pathlib.Path:
-        """On-disk path of one entry (whether or not it exists)."""
-        return self._directory / key[:2] / f"{key}.json"
+        """The file ``key``'s bytes live in (whether or not they exist).
+
+        One file per entry for the JSON backend; the shared database
+        file for SQLite.
+        """
+        return self._backend.entry_path(key)
+
+    def _discard(self, key: str) -> None:
+        """Best-effort deletion of an unusable entry.
+
+        The deletion matters under write-once puts: it is what re-opens
+        the key for the repairing writer.  Racing readers may both try;
+        backend deletes are idempotent.
+        """
+        try:
+            self._backend.delete(key)
+        except Exception:
+            pass
 
     # -- lookup / insert -----------------------------------------------------
 
@@ -247,164 +356,145 @@ class SweepStore:
             point: Optional[SweepPoint] = None) -> Optional[SweepRecord]:
         """Rehydrated record for ``key``, or ``None`` on any kind of miss.
 
-        A present-but-unusable entry (garbage bytes, truncated JSON, wrong
-        embedded key/schema, or — when ``point`` is given — a rehydrated
-        record whose point spec does not match the query) counts as
-        ``invalid``, is deleted (best-effort) and is reported as a miss;
-        the caller re-simulates and :meth:`put` repairs the entry.  The
-        deletion matters under write-once puts: it is what re-opens the
-        key for the repairing writer.
+        A present-but-unusable entry (garbage bytes, truncated payload,
+        wrong embedded key/schema, or — when ``point`` is given — a
+        rehydrated record whose point spec does not match the query)
+        counts as ``invalid``, is deleted (best-effort) and is reported
+        as a miss; the caller re-simulates and :meth:`put` repairs the
+        entry.
         """
-        path = self.entry_path(key)
-        payload: Optional[bytes] = None
         try:
-            with open(path, "rb") as handle:
-                payload = handle.read()
-            entry = json.loads(payload.decode("utf-8"))
-            if entry["schema"] != STORE_SCHEMA_VERSION or entry["key"] != key:
-                raise ConfigurationError("store entry key/schema mismatch")
-            record = SweepRecord.from_snapshot(entry["record"])
-            if point is not None and record.point != point:
-                raise ConfigurationError("store entry point mismatch")
-        except FileNotFoundError:
+            found = self._backend.get(key)
+        except EntryInvalid as exc:
+            self._discard(key)
+            self._note("get", key, "invalid", exc.payload,
+                       invalid=1, misses=1)
+            return None
+        if found is None:
             self._note("get", key, "miss", None, misses=1)
             return None
+        snapshot, payload = found
+        try:
+            record = SweepRecord.from_snapshot(snapshot)
+            if point is not None and record.point != point:
+                raise ConfigurationError("store entry point mismatch")
         except Exception:
             # Treat every malformed entry as a (counted) miss, never an
             # error: the store is a cache, and re-simulation repairs it.
-            # Deleting the bad entry here (racing readers may both try;
-            # unlink is idempotent) lets the repairing put() through the
-            # write-once existence check.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard(key)
             self._note("get", key, "invalid", payload, invalid=1, misses=1)
             return None
         self._note("get", key, "hit", payload, hits=1)
         return record
 
-    def put(self, key: str, record: SweepRecord) -> pathlib.Path:
+    def put(self, key: str, record: SweepRecord,
+            runner_digest: str = "") -> pathlib.Path:
         """Persist one record under ``key``; returns its entry path.
 
         Write-once: if the entry already exists it is left untouched (the
         content of a key is a pure function of its spec, so the first
         completed writer's bytes are every writer's bytes) and the call
-        counts as ``redundant``.  Writers that race past the existence
-        check each write their own uniquely-named temp file and atomically
-        :func:`os.replace` it in — identical bytes either way, and never
-        a torn entry.
+        counts as ``redundant``.  ``runner_digest`` — normally stamped by
+        :meth:`~repro.sim.sweep.SweepRunner.run` via
+        :func:`runner_spec_digest` — and the record's point label become
+        index metadata on backends that keep an index.
         """
-        path = self.entry_path(key)
-        if path.exists():
+        snapshot = record.snapshot(include_timeline=True)
+        stored = self._backend.put(key, snapshot,
+                                   label=record.point.label or "",
+                                   runner_digest=runner_digest)
+        if stored is None:
             self._note("put", key, "redundant", None, redundant_puts=1)
-            return path
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "schema": STORE_SCHEMA_VERSION,
-            "key": key,
-            "record": record.snapshot(include_timeline=True),
-        }
-        payload = json.dumps(entry, sort_keys=True,
-                             separators=(",", ":")).encode("utf-8")
-        with self._lock:
-            serial = next(self._tmp_counter)
-        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}"
-                             f"-{threading.get_ident()}-{serial}")
-        try:
-            with open(tmp, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        finally:
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-        self._note("put", key, "stored", payload, puts=1)
-        return path
+        else:
+            self._note("put", key, "stored", stored, puts=1)
+        return self._backend.entry_path(key)
 
     # -- management ----------------------------------------------------------
 
-    def _entries(self) -> List[pathlib.Path]:
-        """Every entry file in the store (stray temp files excluded)."""
-        return sorted(self._directory.glob("??/*.json"))
-
     def stats(self) -> StoreStats:
-        """Scan the directory and combine with the session counters."""
-        entries = self._entries()
-        total = 0
-        for path in entries:
-            try:
-                total += path.stat().st_size
-            except OSError:  # raced with gc/invalidate from another thread
-                pass
+        """Backend index totals combined with the session counters."""
+        entries, total_bytes, disk_bytes = self._backend.stats()
         return StoreStats(
-            directory=str(self._directory),
-            entries=len(entries),
-            total_bytes=total,
+            directory=str(self._backend.path),
+            entries=entries,
+            total_bytes=total_bytes,
             hits=self.hits,
             misses=self.misses,
             puts=self.puts,
             invalid=self.invalid,
             redundant_puts=self.redundant_puts,
+            backend=self._backend.kind,
+            disk_bytes=disk_bytes,
         )
 
     def gc(self, max_entries: Optional[int] = None,
            max_bytes: Optional[int] = None) -> int:
-        """Prune oldest-first (by mtime) until within the given budgets.
+        """Prune oldest-first until within the given budgets.
 
         Either budget may be ``None`` (unbounded); with both ``None`` this
-        is a no-op.  Returns the number of entries removed.
+        is a no-op.  Returns the number of entries removed.  "Oldest" is
+        file mtime for the JSON backend and insertion order for SQLite.
         """
         if max_entries is not None and max_entries < 0:
             raise ConfigurationError("max_entries must be >= 0")
         if max_bytes is not None and max_bytes < 0:
             raise ConfigurationError("max_bytes must be >= 0")
-        stats: List[Tuple[float, int, pathlib.Path]] = []
-        for path in self._entries():
-            meta = path.stat()
-            stats.append((meta.st_mtime, meta.st_size, path))
-        stats.sort()  # oldest first
-        entries = len(stats)
-        total = sum(size for _, size, _ in stats)
-        removed = 0
-        for _, size, path in stats:
-            over_entries = max_entries is not None and entries > max_entries
-            over_bytes = max_bytes is not None and total > max_bytes
-            if not (over_entries or over_bytes):
-                break
-            path.unlink(missing_ok=True)
-            entries -= 1
-            total -= size
-            removed += 1
-        return removed
+        return self._backend.gc(max_entries, max_bytes)
 
     def invalidate(self, prefix: str = "") -> int:
         """Remove every entry whose key starts with ``prefix`` (default: all).
 
         Returns the number of entries removed.  Invalidation is how a user
         forces re-simulation after changing something the key does not
-        cover (the simulator's own code, most importantly).
+        cover (in-tree simulator edits are covered by
+        :func:`source_digest`; this handles everything else).
         """
-        removed = 0
-        for path in self._entries():
-            if path.stem.startswith(prefix):
-                path.unlink(missing_ok=True)
-                removed += 1
-        return removed
+        return self._backend.invalidate(prefix)
+
+    def close(self) -> None:
+        """Release backend resources (connections); idempotent."""
+        self._backend.close()
+
+
+def migrate_store(source: "StoreArg", dest: "StoreArg") -> int:
+    """Copy every entry of ``source`` into ``dest``; returns the count.
+
+    Keys are preserved verbatim and each record round-trips through
+    rehydration (:meth:`SweepStore.get`) and a deterministic re-snapshot
+    (:meth:`SweepStore.put`), so the destination rehydrates bit-identical
+    records under an identical key set — whichever direction the backends
+    convert in.  Entries the source cannot serve (corrupt, stale schema)
+    are skipped, exactly as a reader would skip them.  Existing
+    destination entries are left untouched (write-once puts).
+    """
+    src = resolve_store(source)
+    dst = resolve_store(dest)
+    if src is None or dst is None:
+        raise ConfigurationError("migrate needs explicit source and "
+                                 "destination stores")
+    migrated = 0
+    for key in src.backend.entries():
+        record = src.get(key)
+        if record is None:
+            continue
+        dst.put(key, record)
+        migrated += 1
+    return migrated
 
 
 #: What :func:`resolve_store` accepts (and, transitively, the ``store=``
-#: argument of every sweep-backed ``run``): an open store, a directory
-#: path, ``None`` for the environment default, ``False`` to disable.
-StoreArg = Union["SweepStore", str, os.PathLike, None, bool]
+#: argument of every sweep-backed ``run``): an open store or backend, a
+#: directory path or ``sqlite://`` URI, ``None`` for the environment
+#: default, ``False`` to disable.
+StoreArg = Union["SweepStore", StoreBackend, str, os.PathLike, None, bool]
 
 
 def resolve_store(store: StoreArg) -> Optional[SweepStore]:
     """Normalise a user-facing ``store=`` argument to an open store.
 
     * :class:`SweepStore` — returned as-is;
-    * a path — opened (created if missing);
+    * a :class:`~repro.store.backend.StoreBackend` — wrapped;
+    * a path or ``sqlite://PATH`` URI — opened (created if missing);
     * ``None`` — the :data:`STORE_ENV_VAR` environment default (no store
       when unset/empty);
     * ``False`` — explicitly no store, even when the variable is set.
@@ -416,8 +506,8 @@ def resolve_store(store: StoreArg) -> Optional[SweepStore]:
         return SweepStore(env) if env else None
     if store is False:
         return None
-    if isinstance(store, (str, os.PathLike)):
+    if isinstance(store, (str, os.PathLike, StoreBackend)):
         return SweepStore(store)
     raise ConfigurationError(
-        f"store must be a SweepStore, a path, None or False, "
-        f"not {type(store).__name__}")
+        f"store must be a SweepStore, a StoreBackend, a path, a sqlite:// "
+        f"URI, None or False, not {type(store).__name__}")

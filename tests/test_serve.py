@@ -144,6 +144,25 @@ class TestEndpoints:
         payload = client.health()
         assert payload["status"] == "ok"
         assert payload["store"] == str(daemon.store.directory)
+        assert payload["store_backend"] == "json"
+
+    def test_sqlite_backed_daemon_serves_warm_hits(self, tmp_path,
+                                                   monkeypatch):
+        """A sqlite:// store URI works end to end through the daemon."""
+        uri = f"sqlite://{tmp_path / 'store.db'}"
+        with ServeDaemon(port=0, store=uri) as running:
+            client = ServeClient(running.url)
+            assert client.health()["store_backend"] == "sqlite"
+            runner, points = _runner(), _points()
+            served = client.whatif(runner, points)
+            serial = _runner().run(points)
+            for got, expected in zip(served, serial.records):
+                assert (got.record.snapshot(include_timeline=True)
+                        == expected.snapshot(include_timeline=True))
+            simulated = _count_simulations(monkeypatch)
+            warm = client.whatif(runner, points)
+            assert [r.status for r in warm] == ["ok", "ok"]
+            assert simulated == []
 
     def test_unknown_endpoint_is_404(self, client):
         with pytest.raises(ServeError) as excinfo:

@@ -77,6 +77,45 @@ class TestIOStats:
         assert a.disk_bytes == 0.0
         assert a.timeline == []
 
+    def test_bulk_timeline_materialises_lazily_and_in_order(self):
+        stats = IOStats()
+        stats.record_disk_bulk([10.0, 20.0], at_times=[0.1, 0.2])
+        stats.record_disk(5.0, at_time=0.3)
+        assert stats.timeline == [(0.1, 10.0), (0.2, 30.0), (0.3, 35.0)]
+
+    def test_concurrent_timeline_reads_materialise_once(self):
+        """Regression: concurrent store writers snapshot the same finished
+        record from several threads, so the lazy chunk merge must be safe
+        under racing readers — no duplicated or partially merged samples.
+        (The materialised state is published as one atomic tuple.)"""
+        import threading
+
+        for _ in range(50):
+            stats = IOStats()
+            for chunk in range(8):
+                base = float(chunk)
+                stats.record_disk_bulk(
+                    [1.0] * 64, at_times=[base + i / 64 for i in range(64)])
+            expected_len = 8 * 64
+            results = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(6)
+
+            def reader():
+                barrier.wait()
+                timeline = stats.timeline
+                with lock:
+                    results.append(list(timeline))
+
+            threads = [threading.Thread(target=reader) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30)
+            assert all(len(r) == expected_len for r in results)
+            assert all(r == results[0] for r in results)
+            assert len(stats.timeline) == expected_len
+
 
 class TestFileStore:
     def test_reads_account_bytes_and_return_durations(self, tiny_dataset):

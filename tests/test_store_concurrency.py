@@ -1,6 +1,7 @@
 """Concurrency tests for the content-addressed store (``repro.store``).
 
-The write-once concurrency contract the serve layer builds on:
+The write-once concurrency contract the serve layer builds on, enforced
+against **both** backends (JSON directory and ``sqlite://`` database):
 
 * **concurrent writers never corrupt** — many threads putting the same
   key leave exactly one valid entry (first writer stores, the rest are
@@ -10,12 +11,14 @@ The write-once concurrency contract the serve layer builds on:
   true entry, never torn bytes; proven by replaying the store's recorded
   read/write trace through :func:`~repro.store.verify_store_trace`
   (write-once + reads-serve-writes, checked over digests of the actual
-  bytes each operation touched);
+  bytes each operation touched — file bytes for JSON, payload blobs for
+  SQLite — so the checker is backend-independent);
 * **corruption degrades and repairs** — a truncated entry is a counted
   invalid miss, is deleted so the write-once ``put`` can re-store it, and
   the repair round-trips byte-identically;
-* **no stray temp files** — atomic-write temp names are unique per
-  (process, thread, attempt) and cleaned up on every path;
+* **no stray files** — the JSON layout's atomic-write temp names are
+  unique per (process, thread, attempt) and cleaned up on every path; the
+  SQLite layout leaves nothing but the database (plus its WAL/shm);
 * the trace checker itself **rejects fabricated inconsistent histories**
   (it must be able to fail, or passing it proves nothing).
 """
@@ -23,7 +26,11 @@ The write-once concurrency contract the serve layer builds on:
 from __future__ import annotations
 
 import json
+import pathlib
+import sqlite3
 import threading
+
+import pytest
 
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import RESNET18
@@ -31,6 +38,50 @@ from repro.sim.sweep import SweepPoint, SweepRunner
 from repro.store import StoreTraceEvent, SweepStore, verify_store_trace
 
 SCALE = 1 / 500.0
+
+BACKENDS = ("json", "sqlite")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def location(tmp_path, backend) -> str:
+    if backend == "sqlite":
+        return f"sqlite://{tmp_path / 'store.db'}"
+    return str(tmp_path / "store")
+
+
+def _write_raw(store: SweepStore, key: str, data: bytes) -> None:
+    """Overwrite ``key``'s stored bytes in place, bypassing the backend.
+
+    Opens its own connection for SQLite, so it is safe from any thread.
+    """
+    if store.backend.kind == "json":
+        store.entry_path(key).write_bytes(data)
+        return
+    con = sqlite3.connect(str(store.backend.path), timeout=30.0)
+    try:
+        con.execute("UPDATE entries SET payload = ? WHERE key = ?",
+                    (data, key))
+        con.commit()
+    finally:
+        con.close()
+
+
+def _read_raw(store: SweepStore, key: str) -> bytes:
+    if store.backend.kind == "json":
+        return store.entry_path(key).read_bytes()
+    con = sqlite3.connect(str(store.backend.path), timeout=30.0)
+    try:
+        row = con.execute("SELECT payload FROM entries WHERE key = ?",
+                          (key,)).fetchone()
+        assert row is not None, f"no stored entry for {key}"
+        return bytes(row[0])
+    finally:
+        con.close()
 
 
 def _runner() -> SweepRunner:
@@ -56,10 +107,10 @@ def _run_threads(workers):
 
 
 class TestConcurrentWriters:
-    def test_same_key_put_race_is_write_once(self, tmp_path):
+    def test_same_key_put_race_is_write_once(self, location):
         runner, point = _runner(), _point()
         record = _simulate(runner, point)
-        store = SweepStore(tmp_path / "store")
+        store = SweepStore(location)
         key = store.key_for(runner, point)
         barrier = threading.Barrier(8)
 
@@ -70,18 +121,18 @@ class TestConcurrentWriters:
         _run_threads([writer] * 8)
         assert store.puts + store.redundant_puts == 8
         assert store.puts >= 1
-        # Exactly one valid entry on disk, rehydrating byte-identically.
+        # Exactly one valid entry stored, rehydrating byte-identically.
         assert store.stats().entries == 1
-        rehydrated = SweepStore(tmp_path / "store").get(key, point)
+        rehydrated = SweepStore(location).get(key, point)
         assert (rehydrated.snapshot(include_timeline=True)
                 == record.snapshot(include_timeline=True))
 
-    def test_racing_past_the_existence_check_converges(self, tmp_path):
-        """Two stores (no shared lock or counters) writing the same key:
+    def test_racing_past_the_existence_check_converges(self, location):
+        """Four stores (no shared lock or counters) writing the same key:
         both may store, but the surviving bytes are valid and identical."""
         runner, point = _runner(), _point()
         record = _simulate(runner, point)
-        stores = [SweepStore(tmp_path / "store") for _ in range(4)]
+        stores = [SweepStore(location) for _ in range(4)]
         key = stores[0].key_for(runner, point)
         barrier = threading.Barrier(4)
 
@@ -90,16 +141,18 @@ class TestConcurrentWriters:
             store.put(key, record)
 
         _run_threads([lambda s=s: writer(s) for s in stores])
-        entry = stores[0].entry_path(key)
-        assert json.loads(entry.read_text())["key"] == key
-        rehydrated = SweepStore(tmp_path / "store").get(key, point)
+        assert stores[0].backend.entries() == [key]
+        if stores[0].backend.kind == "json":
+            entry = stores[0].entry_path(key)
+            assert json.loads(entry.read_text())["key"] == key
+        rehydrated = SweepStore(location).get(key, point)
         assert (rehydrated.snapshot(include_timeline=True)
                 == record.snapshot(include_timeline=True))
 
-    def test_no_stray_temp_files(self, tmp_path):
+    def test_no_stray_files(self, location, tmp_path, backend):
         runner, point = _runner(), _point()
         record = _simulate(runner, point)
-        store = SweepStore(tmp_path / "store")
+        store = SweepStore(location)
         key = store.key_for(runner, point)
 
         def writer():
@@ -107,19 +160,24 @@ class TestConcurrentWriters:
                 store.put(key, record)
 
         _run_threads([writer] * 6)
-        strays = [p for p in (tmp_path / "store").rglob("*")
-                  if p.is_file() and not p.name.endswith(".json")]
-        assert strays == []
+        if backend == "json":
+            strays = [p for p in (tmp_path / "store").rglob("*")
+                      if p.is_file() and not p.name.endswith(".json")]
+            assert strays == []
+        else:
+            allowed = {"store.db", "store.db-wal", "store.db-shm"}
+            present = {p.name for p in tmp_path.iterdir() if p.is_file()}
+            assert present <= allowed
 
 
 class TestTraceConsistency:
-    def test_concurrent_readers_and_writers_trace_verifies(self, tmp_path):
+    def test_concurrent_readers_and_writers_trace_verifies(self, location):
         """8 threads mixing gets and puts over overlapping keys: the store's
         own read/write trace satisfies the write-once contract."""
         runner = _runner()
         points = [_point(fraction) for fraction in (0.3, 0.5, 0.7)]
         records = {p.cache_fraction: _simulate(runner, p) for p in points}
-        store = SweepStore(tmp_path / "store", trace=True)
+        store = SweepStore(location, trace=True)
         keys = {p.cache_fraction: store.key_for(runner, p) for p in points}
         barrier = threading.Barrier(8)
 
@@ -141,7 +199,9 @@ class TestTraceConsistency:
         assert verify_store_trace(store.trace_events) == []
         # Sanity over the counters the trace is built from.  Writers racing
         # past the existence check may all store (identical bytes), so puts
-        # is bounded by the writer count, not pinned to one per key.
+        # is bounded by the writer count, not pinned to one per key (the
+        # SQLite backend's conflict-free INSERT pins it to one, which sits
+        # inside the same bound).
         assert len(points) <= store.puts <= 4 * len(points)
         assert store.puts + store.redundant_puts == 4 * 5 * len(points)
         assert store.hits + store.misses == 4 * 10 * len(points)
@@ -194,16 +254,17 @@ class TestTraceConsistency:
 
 
 class TestCorruptionRepair:
-    def test_truncated_entry_is_invalid_miss_then_repaired(self, tmp_path):
+    def test_truncated_entry_is_invalid_miss_then_repaired(self, location):
         runner, point = _runner(), _point()
         record = _simulate(runner, point)
-        store = SweepStore(tmp_path / "store", trace=True)
+        store = SweepStore(location, trace=True)
         key = store.key_for(runner, point)
-        path = store.put(key, record)
-        path.write_bytes(path.read_bytes()[: 25])  # torn write / truncation
+        store.put(key, record)
+        _write_raw(store, key, _read_raw(store, key)[:25])  # torn write
         assert store.get(key, point) is None
         assert store.invalid == 1 and store.misses == 1
-        assert not path.exists()  # deleted, re-opening the write-once key
+        # Deleted, re-opening the write-once key for the repairing put.
+        assert key not in store.backend.entries()
         # The repairing put stores (not redundant), and the entry serves.
         store.put(key, record)
         assert store.puts == 2 and store.redundant_puts == 0
@@ -213,15 +274,15 @@ class TestCorruptionRepair:
         assert verify_store_trace(store.trace_events) == []
 
     def test_concurrent_truncation_and_reads_never_serve_wrong_bytes(
-            self, tmp_path):
+            self, location):
         """Readers racing a corrupter and a repairer: every hit served the
         one true content (checked over the recorded trace)."""
         runner, point = _runner(), _point()
         record = _simulate(runner, point)
-        store = SweepStore(tmp_path / "store", trace=True)
+        store = SweepStore(location, trace=True)
         key = store.key_for(runner, point)
-        path = store.put(key, record)
-        payload = path.read_bytes()
+        store.put(key, record)
+        payload = _read_raw(store, key)
         barrier = threading.Barrier(6)
         stop = threading.Event()
 
@@ -237,8 +298,8 @@ class TestCorruptionRepair:
             barrier.wait()
             for _ in range(10):
                 try:
-                    path.write_bytes(payload[: 30])
-                except OSError:
+                    _write_raw(store, key, payload[:30])
+                except (OSError, sqlite3.Error):
                     pass
 
         def repairer():

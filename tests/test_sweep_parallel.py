@@ -43,12 +43,18 @@ def _snapshot(points, workers, **runner_kwargs):
 
 
 class TestParallelExecution:
-    def test_pool_matches_serial_bytes(self):
-        """workers=2 reproduces the serial bytes on all three point kinds."""
+    def test_pool_matches_serial_bytes(self, monkeypatch):
+        """workers=2 reproduces the serial bytes on all three point kinds.
+
+        ``os.cpu_count`` is pinned to 2 so a real pool spawns even on a
+        one-core box (where the clamp would otherwise degrade the run to
+        the serial executor and the comparison would be vacuous)."""
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
         points = _mixed_grid()
         assert _snapshot(points, workers=2) == _snapshot(points, workers=0)
 
-    def test_explicit_chunksize_does_not_change_results(self):
+    def test_explicit_chunksize_does_not_change_results(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)  # force a real pool
         points = _mixed_grid()
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         chunked = runner.run(points, workers=2, chunksize=1).snapshot()
@@ -127,16 +133,24 @@ class TestWorkerFallback:
                            dataset="openimages", cache_fraction=0.5,
                            num_epochs=3)]
 
-    def test_fallback_in_child_matches_serial_bytes(self):
+    def test_fallback_in_child_matches_serial_bytes(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)  # force a real pool
         points = self._fallback_points()
+        # A one-point grid runs in-process by design, so pad with a second
+        # point to keep the fallback inside an actual worker process.
+        points = points + [SweepPoint(model=RESNET18, loader="coordl",
+                                      dataset="openimages",
+                                      cache_fraction=0.5)]
         assert _snapshot(points, workers=2) == _snapshot(points, workers=0)
 
-    def test_fallback_in_child_does_not_corrupt_io_accounting(self):
+    def test_fallback_in_child_does_not_corrupt_io_accounting(
+            self, monkeypatch):
         """Pooled fast-path I/O totals equal the per-batch reference walk.
 
         Catches double-counted or dropped aggregated I/O stats when a point
         declines the vectorised path mid-run in a worker.
         """
+        monkeypatch.setattr("os.cpu_count", lambda: 2)  # force a real pool
         points = self._fallback_points()
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         (pooled,) = runner.run(points, workers=2).records
@@ -191,6 +205,22 @@ class TestWorkerClamp:
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         assert runner._resolve_workers(None) == 1
 
+    def test_workers_one_degrades_to_serial(self, monkeypatch):
+        """A one-worker 'pool' never spawns: workers<=1 (requested or
+        clamped) dispatches to the serial executor, skipping the per-run
+        process spawn cost that buys zero parallelism."""
+        def boom(method):  # pragma: no cover - would mean a pool was built
+            raise AssertionError("pool spawned for workers<=1")
+
+        import repro.sim.sweep as sweep_module
+        monkeypatch.setattr(sweep_module.multiprocessing, "get_context", boom)
+        runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
+        points = _mixed_grid()[:2]
+        assert len(runner.run(points, workers=1)) == 2
+        # A clamped request degrades the same way.
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert len(runner.run(points, workers=8)) == 2
+
 
 class TestWorkerErrorPropagation:
     """A failing point surfaces its label and the original exception."""
@@ -204,7 +234,12 @@ class TestWorkerErrorPropagation:
                          label="overcommitted-hp-point")
         return [good, bad]
 
-    def test_child_failure_carries_label_and_original_exception(self):
+    def test_child_failure_carries_label_and_original_exception(
+            self, monkeypatch):
+        # Pin the core count so workers=2 survives the clamp: on a one-core
+        # box the run would degrade to the serial executor, which records no
+        # child traceback (covered by the serial test below).
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         with pytest.raises(SweepPointError) as excinfo:
             # store=False pins the pool path: with an ambient result store
@@ -237,8 +272,10 @@ class TestWorkerErrorPropagation:
             runner.run([bad, bad], workers=2)
         assert "alexnet/hp-baseline" in str(excinfo.value)
 
-    def test_multiple_failures_report_the_first_in_input_order(self):
+    def test_multiple_failures_report_the_first_in_input_order(
+            self, monkeypatch):
         """The raised point does not depend on pool scheduling order."""
+        monkeypatch.setattr("os.cpu_count", lambda: 2)  # force a real pool
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         first = SweepPoint(model=ALEXNET, loader="hp-baseline", num_jobs=64,
                            label="first-bad")

@@ -1,33 +1,39 @@
 #!/usr/bin/env python3
 """CI gate for the content-addressed sweep result store (``repro.store``).
 
-Runs small reference grids twice against one store directory and enforces
-the store contract end to end:
+Runs every committed golden grid twice against one store per backend
+(JSON directory and ``sqlite://``) and enforces the store contract end to
+end, per backend:
 
-* the cold pass simulates every point (all misses) and populates the store;
+* the cold pass simulates every point (all misses), populates the store,
+  and must reproduce the committed ``tests/golden`` snapshots;
 * the warm pass performs **zero simulations** (every point is a store hit —
   simulation is fenced off by instrumentation, not inferred from timing);
 * the warm :meth:`~repro.sim.sweep.SweepResult.snapshot` is byte-identical
   to the cold one.
 
 With ``--serve`` the same contract is enforced *through the serve daemon*
-(``repro.serve``): every committed golden grid is fetched twice over HTTP
-from an in-process :class:`~repro.serve.ServeDaemon`; the cold pass may
-simulate, the warm pass must simulate nothing, and both passes must
-rehydrate byte-identical to the committed ``tests/golden`` snapshots.
-Request latency percentiles land in ``BENCH_serve.json``.
+(``repro.serve``): every golden grid is fetched twice over HTTP from an
+in-process :class:`~repro.serve.ServeDaemon` per backend; the cold pass
+may simulate, the warm pass must simulate nothing, and both passes must
+rehydrate byte-identical to the committed snapshots.  Request latency
+percentiles land in ``BENCH_serve.json``.
 
-Store statistics land in ``BENCH_store.json`` at the repository root so CI
-can upload them alongside ``BENCH_sweep.json``.
+Per-backend statistics — warm hit latency, ``stats`` latency, payload and
+on-disk bytes — land in ``BENCH_store.json`` at the repository root with
+a ``comparison`` section (SQLite vs JSON ratios) so CI tracks the backend
+trade-off alongside ``BENCH_sweep.json``.
 
-Run as ``make store-check`` / ``make serve-check`` (or
-``PYTHONPATH=src python tools/store_check.py [--serve]``).  The store
-directory comes from ``REPRO_SWEEP_STORE`` when set (what the CI leg
-does), else a temporary directory.
+Run as ``make store-check`` (both backends), ``make store-check-sqlite``
+(SQLite only), or ``PYTHONPATH=src python tools/store_check.py
+[--serve] [--backend json|sqlite|both]``.  Stores are scratched under the
+``REPRO_SWEEP_STORE`` location when set (what the CI leg does), else a
+temporary directory.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import pathlib
@@ -46,9 +52,14 @@ from repro.sim.harness import (  # noqa: E402
 )
 from repro.sim.sweep import SweepRunner  # noqa: E402
 from repro.store import STORE_ENV_VAR, SweepStore  # noqa: E402
+from repro.store.backend import SQLITE_URI_PREFIX  # noqa: E402
 
-#: Grids the gate replays (cheap but covering all three record kinds).
-CHECKED_GRIDS = ("fig3_small", "fig9b_small", "tab7_small")
+#: Backends the gate replays (the acceptance bar: all golden grids pass
+#: cold-then-warm on *both*).
+BACKENDS = ("json", "sqlite")
+
+#: Grids the gate replays: every committed golden grid.
+CHECKED_GRIDS = tuple(sorted(GOLDEN_GRIDS))
 
 #: Where the committed golden snapshots live.
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
@@ -60,8 +71,15 @@ REPORT_PATH = REPO_ROOT / "BENCH_store.json"
 SERVE_REPORT_PATH = REPO_ROOT / "BENCH_serve.json"
 
 
-def run_gate(directory: pathlib.Path) -> dict:
-    """Run the cold/warm passes; return the stats payload (raises on fail)."""
+def backend_location(root: pathlib.Path, backend: str) -> str:
+    """Store location string for one backend under a scratch root."""
+    if backend == "sqlite":
+        return f"{SQLITE_URI_PREFIX}{root / 'store.db'}"
+    return str(root / "store")
+
+
+def run_gate(location: str, backend: str) -> dict:
+    """Cold/warm passes on one backend; returns its stats payload."""
     simulated = []
     original_run_point = SweepRunner._run_point
 
@@ -75,8 +93,8 @@ def run_gate(directory: pathlib.Path) -> dict:
         # workers=0 pins the serial executor: the gate counts simulations
         # through a parent-process instrumentation hook that spawn workers
         # would not see, and the store contract is worker-count-invariant
-        # anyway (tests/test_store.py covers workers=0/1/4).
-        cold_store = SweepStore(directory)
+        # anyway (tests/test_store.py covers workers=0/1/4 per backend).
+        cold_store = SweepStore(location)
         start = time.perf_counter()
         cold = {name: grid.build_runner().run(grid.points(), workers=0,
                                               store=cold_store).snapshot()
@@ -85,10 +103,17 @@ def run_gate(directory: pathlib.Path) -> dict:
         cold_simulated = len(simulated)
         if cold_store.hits or cold_store.puts != cold_simulated:
             raise AssertionError(
-                f"cold pass expected all misses: {cold_store.hits} hits, "
-                f"{cold_store.puts} puts, {cold_simulated} simulations")
+                f"[{backend}] cold pass expected all misses: "
+                f"{cold_store.hits} hits, {cold_store.puts} puts, "
+                f"{cold_simulated} simulations")
+        for name in grids:
+            diffs = snapshot_diff(load_golden(name, GOLDEN_DIR), cold[name])
+            if diffs:
+                raise AssertionError(
+                    f"[{backend}] {name}: cold store-backed run diverged "
+                    f"from the committed golden (first differences: {diffs})")
 
-        warm_store = SweepStore(directory)
+        warm_store = SweepStore(location)
         start = time.perf_counter()
         warm = {name: grid.build_runner().run(grid.points(), workers=0,
                                               store=warm_store).snapshot()
@@ -97,31 +122,49 @@ def run_gate(directory: pathlib.Path) -> dict:
         warm_simulated = len(simulated) - cold_simulated
         if warm_simulated or warm_store.misses:
             raise AssertionError(
-                f"warm pass simulated {warm_simulated} points / "
+                f"[{backend}] warm pass simulated {warm_simulated} points / "
                 f"{warm_store.misses} store misses (expected all hits)")
         for name in grids:
             diffs = snapshot_diff(cold[name], warm[name])
             if diffs:
                 raise AssertionError(
-                    f"{name}: warm snapshot diverged from cold "
+                    f"[{backend}] {name}: warm snapshot diverged from cold "
                     f"(first differences: {diffs})")
     finally:
         SweepRunner._run_point = original_run_point
 
-    stats = warm_store.stats()
+    # Per-backend micro-latencies over the populated store: average warm
+    # hit (full rehydration) and average stats() call — the two
+    # operations the serve daemon leans on.
+    probe = SweepStore(location)
+    keys = probe.backend.entries()
+    start = time.perf_counter()
+    for key in keys:
+        if probe.get(key) is None:
+            raise AssertionError(f"[{backend}] probe miss for stored {key}")
+    hit_ms = (time.perf_counter() - start) * 1000.0 / max(1, len(keys))
+    start = time.perf_counter()
+    stats_rounds = 20
+    for _ in range(stats_rounds):
+        stats = probe.stats()
+    stats_ms = (time.perf_counter() - start) * 1000.0 / stats_rounds
+    probe.close()
+    warm_store.close()
+    cold_store.close()
+
     return {
-        "schema": "repro-store-gate/1",
-        "grids": list(CHECKED_GRIDS),
         "points": cold_simulated,
         "cold_s": round(cold_s, 6),
         "warm_s": round(warm_s, 6),
         "speedup": round(cold_s / warm_s, 3) if warm_s else None,
+        "hit_ms": round(hit_ms, 4),
+        "stats_ms": round(stats_ms, 4),
         "store": stats.to_dict(),
     }
 
 
-def run_serve_gate(directory: pathlib.Path) -> dict:
-    """Golden round-trip through the serve daemon (raises on fail).
+def run_serve_gate(location: str, backend: str) -> dict:
+    """Golden round-trip through the serve daemon on one backend.
 
     Every committed golden grid, fetched twice over HTTP from one
     in-process daemon: the warm pass must do zero simulations, and both
@@ -141,7 +184,7 @@ def run_serve_gate(directory: pathlib.Path) -> dict:
     SweepRunner._run_point = counting_run_point
     latencies = {"cold_s": [], "warm_s": []}
     try:
-        with ServeDaemon(port=0, store=directory) as daemon:
+        with ServeDaemon(port=0, store=location) as daemon:
             client = ServeClient(daemon.url)
             for passname in ("cold_s", "warm_s"):
                 before = len(simulated)
@@ -153,70 +196,130 @@ def run_serve_gate(directory: pathlib.Path) -> dict:
                     bad = [r.status for r in results if r.status != "ok"]
                     if bad:
                         raise AssertionError(
-                            f"{name} ({passname}): non-ok statuses {bad}")
+                            f"[{backend}] {name} ({passname}): non-ok "
+                            f"statuses {bad}")
                     served = {"records": [r.record.snapshot()
                                           for r in results]}
                     diffs = snapshot_diff(load_golden(name, GOLDEN_DIR),
                                           served)
                     if diffs:
                         raise AssertionError(
-                            f"{name} ({passname}): served records diverge "
-                            f"from the committed golden (first: {diffs})")
+                            f"[{backend}] {name} ({passname}): served "
+                            f"records diverge from the committed golden "
+                            f"(first: {diffs})")
                 if passname == "warm_s" and len(simulated) > before:
                     raise AssertionError(
-                        f"warm serve pass simulated {len(simulated) - before} "
-                        "points (expected pure store reads)")
+                        f"[{backend}] warm serve pass simulated "
+                        f"{len(simulated) - before} points (expected pure "
+                        f"store reads)")
             stats = client.stats()
     finally:
         SweepRunner._run_point = original_run_point
 
     return {
-        "schema": "repro-serve-gate/1",
-        "grids": sorted(GOLDEN_GRIDS),
         "points": len(simulated),
         "cold_s": round(sum(latencies["cold_s"]), 6),
         "warm_s": round(sum(latencies["warm_s"]), 6),
         "latency": stats["latency"],
         "batcher": stats["batcher"],
-        "store": stats.get("store", {}),
+        "store": stats.get("store") or {},
     }
 
 
-def main() -> int:
-    serve = "--serve" in sys.argv[1:]
-    env_dir = os.environ.get(STORE_ENV_VAR, "").strip()
-    gate = run_serve_gate if serve else run_gate
-    if env_dir:
-        # A fresh scratch store *under* the configured directory: the gate's
-        # cold pass must start from zero entries, and the ambient store may
-        # already hold these exact grids (the golden tests populate it when
-        # the whole suite runs store-backed — or a previous gate run did).
-        pathlib.Path(env_dir).mkdir(parents=True, exist_ok=True)
-        scratch = tempfile.mkdtemp(prefix="store-gate-", dir=env_dir)
-        try:
-            payload = gate(pathlib.Path(scratch))
-        finally:
-            shutil.rmtree(scratch, ignore_errors=True)
+def _comparison(backends: dict) -> dict:
+    """SQLite-vs-JSON ratios when both backends ran."""
+    js, sq = backends.get("json"), backends.get("sqlite")
+    if not js or not sq:
+        return {}
+    comparison = {}
+    if sq.get("hit_ms"):
+        comparison["hit_speedup"] = round(js["hit_ms"] / sq["hit_ms"], 3)
+    if sq.get("stats_ms"):
+        comparison["stats_speedup"] = round(js["stats_ms"] / sq["stats_ms"],
+                                            3)
+    js_disk = js["store"].get("disk_bytes")
+    sq_disk = sq["store"].get("disk_bytes")
+    if js_disk and sq_disk:
+        comparison["disk_ratio_json_over_sqlite"] = round(js_disk / sq_disk,
+                                                          3)
+    return comparison
+
+
+def _scratch_root() -> pathlib.Path:
+    """Parent directory the per-backend scratch stores live under."""
+    env = os.environ.get(STORE_ENV_VAR, "").strip()
+    if not env:
+        return pathlib.Path(tempfile.mkdtemp(prefix="store-gate-"))
+    # A fresh scratch *under* the configured location: the gate's cold
+    # pass must start from zero entries, and the ambient store may already
+    # hold these exact grids (the golden tests populate it when the whole
+    # suite runs store-backed — or a previous gate run did).
+    if env.startswith(SQLITE_URI_PREFIX):
+        base = pathlib.Path(env[len(SQLITE_URI_PREFIX):]).parent
     else:
-        with tempfile.TemporaryDirectory() as scratch:
-            payload = gate(pathlib.Path(scratch) / "sweep-store")
-    if serve:
+        base = pathlib.Path(env)
+    base.mkdir(parents=True, exist_ok=True)
+    return pathlib.Path(tempfile.mkdtemp(prefix="store-gate-", dir=base))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", action="store_true",
+                        help="run the gate through the serve daemon")
+    parser.add_argument("--backend", choices=(*BACKENDS, "both"),
+                        default="both", help="backend(s) to gate")
+    args = parser.parse_args()
+    selected = BACKENDS if args.backend == "both" else (args.backend,)
+
+    scratch = _scratch_root()
+    per_backend = {}
+    try:
+        for backend in selected:
+            root = scratch / backend
+            root.mkdir(parents=True, exist_ok=True)
+            location = backend_location(root, backend)
+            if args.serve:
+                per_backend[backend] = run_serve_gate(location, backend)
+            else:
+                per_backend[backend] = run_gate(location, backend)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    if args.serve:
+        payload = {
+            "schema": "repro-serve-gate/2",
+            "grids": sorted(GOLDEN_GRIDS),
+            "backends": per_backend,
+        }
         SERVE_REPORT_PATH.write_text(
             json.dumps(payload, indent=1, sort_keys=True) + "\n",
             encoding="utf-8")
-        print(f"serve-check: {payload['points']} points over "
-              f"{len(payload['grids'])} golden grids served byte-identical "
-              f"over HTTP; warm pass pure store reads (cold "
-              f"{payload['cold_s']:.2f} s, warm {payload['warm_s']:.2f} s); "
-              f"latency -> {SERVE_REPORT_PATH.name}")
+        for backend, result in per_backend.items():
+            print(f"serve-check[{backend}]: {result['points']} points over "
+                  f"{len(GOLDEN_GRIDS)} golden grids served byte-identical "
+                  f"over HTTP; warm pass pure store reads (cold "
+                  f"{result['cold_s']:.2f} s, warm {result['warm_s']:.2f} s)")
+        print(f"serve-check: latency -> {SERVE_REPORT_PATH.name}")
         return 0
+    payload = {
+        "schema": "repro-store-gate/2",
+        "grids": list(CHECKED_GRIDS),
+        "backends": per_backend,
+        "comparison": _comparison(per_backend),
+    }
     REPORT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
                            encoding="utf-8")
-    print(f"store-check: {payload['points']} points over "
-          f"{len(payload['grids'])} grids; warm pass all hits and "
-          f"byte-identical (cold {payload['cold_s']:.2f} s, warm "
-          f"{payload['warm_s']:.2f} s, {payload['speedup']}x); "
-          f"stats -> {REPORT_PATH.name}")
+    for backend, result in per_backend.items():
+        print(f"store-check[{backend}]: {result['points']} points over "
+              f"{len(CHECKED_GRIDS)} grids; warm pass all hits and "
+              f"byte-identical (cold {result['cold_s']:.2f} s, warm "
+              f"{result['warm_s']:.2f} s, {result['speedup']}x; hit "
+              f"{result['hit_ms']:.2f} ms, stats {result['stats_ms']:.2f} ms)")
+    if payload["comparison"]:
+        print(f"store-check: sqlite vs json -> {payload['comparison']}; "
+              f"stats -> {REPORT_PATH.name}")
+    else:
+        print(f"store-check: stats -> {REPORT_PATH.name}")
     return 0
 
 
