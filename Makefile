@@ -6,7 +6,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-workers bench bench-json bench-smoke bench-parallel \
         bench-store docs-check store-check store-check-sqlite serve-check \
-        check
+        failure-check check
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -74,8 +74,18 @@ serve-check:
 	$(PYTHON) -m pytest -x -q tests/test_serve.py tests/test_store_concurrency.py
 	$(PYTHON) tools/store_check.py --serve
 
+## Failure & elasticity scenario gate: the detector/scenario unit and
+## property tests, the failure golden grids at workers=0/1/4 and through
+## both store backends, then the two failure grids served twice over HTTP
+## (warm pass must be pure store reads, byte-identical to tests/golden).
+failure-check:
+	$(PYTHON) -m pytest -x -q tests/test_failure.py \
+	    tests/test_failure_scenarios.py tests/test_golden_sweeps.py
+	$(PYTHON) tools/store_check.py --serve \
+	    --grids fig_crash_small fig_elastic_small
+
 ## Everything the CI gate's main leg runs (the parallel-workers, store and
 ## serve legs add `make test-workers bench-smoke bench-parallel` under
 ## REPRO_SWEEP_WORKERS=2, `make test store-check` under REPRO_SWEEP_STORE,
-## and `make serve-check` respectively).
+## `make serve-check`, and `make failure-check` respectively).
 check: test docs-check bench-smoke store-check

@@ -154,6 +154,21 @@ class MinIOCache(Cache):
         """Size of a cached item (0.0 when not cached)."""
         return self._entries.get(item_id, 0.0)
 
+    def evict(self, item_id: int) -> float:
+        """Forcibly drop one entry; returns the bytes freed (0.0 if absent).
+
+        MinIO itself never evicts — this exists for *external* loss events
+        only: the failure scenarios use it when a crashed worker takes its
+        slice of the shared cache down with it, so the survivors re-warm
+        those items from storage on the next epoch.
+        """
+        size = self._entries.pop(item_id, None)
+        if size is None:
+            return 0.0
+        self._used -= size
+        self._member_table = None
+        return size
+
     def clear(self) -> None:
         """Drop everything — only used when a training *job* ends."""
         self._entries.clear()

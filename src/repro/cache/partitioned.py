@@ -184,6 +184,37 @@ class PartitionedCacheGroup:
             self._owners[item_ids[admitted]] = server
         return local, remote
 
+    def add_server(self, capacity_bytes: float) -> int:
+        """Elastic scale-up: a new server joins the partition mid-training.
+
+        The newcomer arrives with a cold cache and warms organically through
+        the normal miss/admit path (:meth:`bulk_epoch_lookup` /
+        :meth:`admit_local`); the epoch-0 shard assignment is *not* redrawn
+        — shards only seed the initial population.  Returns the new server's
+        index.
+        """
+        if capacity_bytes <= 0:
+            raise ConfigurationError("new server needs a positive cache budget")
+        self._caches.append(MinIOCache(capacity_bytes))
+        self._shards.append(np.empty(0, dtype=np.int64))
+        return len(self._caches) - 1
+
+    def deactivate_server(self, server: int) -> float:
+        """Elastic scale-down: a server leaves and its cached bytes are lost.
+
+        Clears the departing server's cache and removes it from the
+        directory (its items become owner-less, so survivors fall back to
+        storage and re-warm them).  The server index stays valid — lookups
+        on behalf of a departed server still work — but elasticity-aware
+        callers stop routing epochs to it.  Returns the bytes dropped.
+        """
+        if not 0 <= server < self.num_servers:
+            raise ConfigurationError(f"server {server} out of range")
+        lost = self._caches[server].used_bytes
+        self._caches[server].clear()
+        self._owners[self._owners == server] = -1
+        return lost
+
     def cached_fraction(self) -> float:
         """Fraction of dataset bytes currently cached somewhere in the group."""
         cached = sum(c.used_bytes for c in self._caches)

@@ -159,6 +159,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="dataset scale fraction (default 1/100)")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--num-epochs", type=int, default=2)
+    query.add_argument("--num-jobs", type=int, default=None,
+                       help="what-if: concurrent jobs (HP-search / crash / "
+                            "multi-tenant kinds)")
+    query.add_argument("--num-servers", type=int, default=None,
+                       help="what-if: servers (distributed / elastic / "
+                            "straggler kinds)")
+    query.add_argument("--tenants", type=int, default=None,
+                       help="what-if: HP campaigns sharing the page cache "
+                            "(hp-multitenant)")
+    query.add_argument("--crash", action="append", dest="crashes",
+                       metavar="EPOCH:JOB",
+                       help="what-if: crash job JOB at epoch EPOCH "
+                            "(repeatable; coordl-crash)")
+    query.add_argument("--membership", action="append", dest="memberships",
+                       metavar="EPOCH:COUNT",
+                       help="what-if: resize the partition to COUNT servers "
+                            "at epoch EPOCH (repeatable; coordl-elastic)")
+    query.add_argument("--straggler", action="append", type=float,
+                       dest="stragglers", metavar="FACTOR",
+                       help="what-if: per-rank fetch degradation factor "
+                            "(repeatable, rank order; coordl-straggler)")
     query.add_argument("--deadline", type=float, default=None,
                        metavar="SECONDS", help="per-request deadline; late "
                        "points come back marked timed_out")
@@ -287,6 +308,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pair(spec: str, flag: str) -> tuple:
+    """Parse a ``EPOCH:VALUE`` CLI pair into an int 2-tuple."""
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise ConfigurationError(f"{flag}: expected two ints, got {spec!r}")
+    try:
+        return (int(parts[0]), int(parts[1]))
+    except ValueError:
+        raise ConfigurationError(
+            f"{flag}: expected two ints, got {spec!r}") from None
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient
     from repro.sim.sweep import SweepPoint, SweepRunner
@@ -310,9 +343,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
     fractions = args.cache_fractions or [None]
     runner = SweepRunner(get_server_factory(args.server_config),
                          scale=args.scale, seed=args.seed)
+    extra = {}
+    if args.num_jobs is not None:
+        extra["num_jobs"] = args.num_jobs
+    if args.num_servers is not None:
+        extra["num_servers"] = args.num_servers
+    if args.tenants is not None:
+        extra["tenants"] = args.tenants
+    if args.crashes:
+        extra["crash_schedule"] = tuple(
+            _parse_pair(spec, "--crash EPOCH:JOB") for spec in args.crashes)
+    if args.memberships:
+        extra["membership_schedule"] = tuple(
+            _parse_pair(spec, "--membership EPOCH:COUNT")
+            for spec in args.memberships)
+    if args.stragglers:
+        extra["straggler_factors"] = tuple(args.stragglers)
     points = [SweepPoint(model=model, loader=args.loader,
                          dataset=args.dataset, cache_fraction=fraction,
-                         num_epochs=args.num_epochs)
+                         num_epochs=args.num_epochs, **extra)
               for fraction in fractions]
     results = client.whatif(runner, points, deadline_s=args.deadline)
     exit_code = 0

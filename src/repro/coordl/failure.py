@@ -19,6 +19,7 @@ can be exercised deterministically in tests and in the HP-search simulator.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
@@ -53,12 +54,20 @@ class TimeoutReport:
 
 @dataclass
 class FailureEvent:
-    """Record of one confirmed failure and its recovery."""
+    """Record of one confirmed failure/elasticity event and its recovery.
+
+    The detector emits ``kind="crash"`` events; the failure scenarios
+    (:mod:`repro.sim.failures`) reuse the same record for their full trace
+    with ``kind`` in ``{"crash", "join", "leave", "straggler"}``.  Fields a
+    kind does not use carry the ``-1`` sentinel (e.g. a ``join`` event has
+    no failed job and no missing batch).
+    """
 
     failed_job: int
     detected_at: float
     reassigned_to: int
     missing_batch_id: int
+    kind: str = "crash"
 
 
 class FailureDetector:
@@ -72,11 +81,19 @@ class FailureDetector:
         liveness_probe: Callable ``job -> bool`` consulted to verify whether
             a suspected job is actually alive.  Defaults to "alive unless
             previously marked dead", which is what the simulator overrides.
+        seed: When given, replacement picking is a pure function of
+            ``(seed, failed job, event count)`` — still deterministic, but
+            spread over the surviving jobs instead of always loading the
+            lowest-numbered one.  The sweep runner passes its
+            :meth:`~repro.sim.sweep.SweepRunner.point_seed` here so crash
+            scenarios stay byte-identical at any worker count.  ``None``
+            keeps the legacy lowest-survivor choice.
     """
 
     def __init__(self, num_jobs: int, iteration_time_s: float,
                  timeout_multiplier: float = 10.0,
-                 liveness_probe: Optional[Callable[[int], bool]] = None) -> None:
+                 liveness_probe: Optional[Callable[[int], bool]] = None,
+                 seed: Optional[int] = None) -> None:
         if num_jobs <= 0:
             raise ConfigurationError("need at least one job")
         if iteration_time_s <= 0 or timeout_multiplier <= 0:
@@ -85,6 +102,7 @@ class FailureDetector:
         self._iteration_time_s = iteration_time_s
         self._timeout_multiplier = timeout_multiplier
         self._liveness_probe = liveness_probe
+        self._seed = seed
         self._events: List[FailureEvent] = []
         self._reports: List[TimeoutReport] = []
 
@@ -160,6 +178,17 @@ class FailureDetector:
         candidates = sorted(j for j in self.alive_jobs() if j != exclude)
         if not candidates:
             raise JobFailedError("no surviving job can take over the failed shard")
-        # Deterministic choice: the lowest-numbered surviving job spawns the
-        # replacement data-loading process for the orphaned shard.
-        return candidates[0]
+        if self._seed is None:
+            # Legacy deterministic choice: the lowest-numbered surviving job
+            # spawns the replacement data-loading process for the orphaned
+            # shard.
+            return candidates[0]
+        # Seeded choice: a BLAKE2 digest of (seed, failed job, event count)
+        # indexes the sorted survivors.  Pure function of the detector's
+        # history — never ambient RNG — so two detectors replaying the same
+        # report sequence under the same seed pick identical replacements
+        # regardless of process, scheduling or worker count.
+        key = repr((self._seed, exclude, len(self._events)))
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8)
+        index = int.from_bytes(digest.digest(), "big") % len(candidates)
+        return candidates[index]

@@ -18,6 +18,7 @@ from repro.cluster.network import NetworkLink
 from repro.cluster.server import ServerConfig
 from repro.datasets.dataset import SyntheticDataset
 from repro.datasets.sampler import BatchSampler, DistributedSampler
+from repro.exceptions import ConfigurationError
 from repro.pipeline.base import BatchFetchResult, DataLoader
 from repro.prep.pipeline import PrepPipeline
 from repro.storage.filestore import FileStore
@@ -47,8 +48,9 @@ class PartitionedCoorDLLoader(DataLoader):
 
     @classmethod
     def build_group(cls, dataset: SyntheticDataset, servers: List[ServerConfig],
-                    batch_size: int, gpu_prep: bool = False,
-                    seed: int = 0) -> List["PartitionedCoorDLLoader"]:
+                    batch_size: int, gpu_prep: bool = False, seed: int = 0,
+                    group: Optional[PartitionedCacheGroup] = None,
+                    ) -> List["PartitionedCoorDLLoader"]:
         """Build one loader per server, all sharing a partitioned cache group.
 
         Args:
@@ -57,10 +59,18 @@ class PartitionedCoorDLLoader(DataLoader):
             batch_size: Per-server batch size (per-GPU batch x GPUs/server).
             gpu_prep: Offload prep to the GPUs.
             seed: Shared sampler/shard seed.
+            group: Reuse an existing (possibly already-warm) cache group
+                instead of building and populating a fresh one — the
+                elasticity scenarios hand surviving servers' caches across a
+                membership change this way.  Must have one cache per server.
         """
-        group = PartitionedCacheGroup(
-            dataset, [s.cache_bytes for s in servers], seed=seed)
-        group.populate_from_shards()
+        if group is None:
+            group = PartitionedCacheGroup(
+                dataset, [s.cache_bytes for s in servers], seed=seed)
+            group.populate_from_shards()
+        elif group.num_servers != len(servers):
+            raise ConfigurationError(
+                f"group has {group.num_servers} caches for {len(servers)} servers")
         loaders: List[PartitionedCoorDLLoader] = []
         for rank, server in enumerate(servers):
             prep = PrepPipeline.for_task(dataset.spec.task, library="dali")

@@ -18,6 +18,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments import (
     appendix_analysis,
     appendix_coordl,
+    failures,
     fig1_pipeline,
     fig2_fetch_stalls,
     fig3_cache_sweep,
@@ -67,6 +68,10 @@ _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "fig21": appendix_coordl.run_fig21,
     "fig22": appendix_coordl.run_fig22,
     "fig23": appendix_coordl.run_fig23,
+    "fig_crash": failures.run_crash,
+    "fig_elastic": failures.run_elastic,
+    "fig_straggler": failures.run_straggler,
+    "fig_multitenant": failures.run_multitenant,
 }
 
 

@@ -89,6 +89,20 @@ PAPER_EXPECTATIONS: Dict[str, str] = {
     "fig23": "End-to-end Ray-Tune-style HP search: coordinated prep alone gives "
              "~2.5x on HDD (less on SSD); adding MinIO brings the total to ~5.5x on "
              "HDD.",
+    "fig_crash": "(beyond paper) Sec. 4.4 describes the failure protocol — timeout "
+                 "= 10x iteration time, pending minibatch reassigned — but never "
+                 "quantifies a crash; this what-if measures the detection stall "
+                 "plus the cache re-warm I/O per crash schedule.",
+    "fig_elastic": "(beyond paper) CoorDL's partitioned cache assumes static "
+                   "membership; this what-if lets servers join (cold, warming via "
+                   "the miss path) and leave (cached bytes lost, survivors "
+                   "re-fetch) mid-training.",
+    "fig_straggler": "(beyond paper) the epoch of a data-parallel job is bound by "
+                     "its slowest rank; this what-if degrades individual servers' "
+                     "network/disk rates and measures the drag.",
+    "fig_multitenant": "(beyond paper) Tab. 3 shows uncoordinated HP jobs thrash "
+                       "the page cache; this what-if scales the number of "
+                       "concurrent campaigns sharing one cache and core budget.",
 }
 
 #: Known, intentional deviations of this reproduction from the paper's numbers.

@@ -10,7 +10,11 @@ defined here so the two sides (and the tests) cannot drift:
   fast-path (:func:`runner_to_wire` / :func:`runner_from_wire`);
 * a **point** is one :class:`~repro.sim.sweep.SweepPoint` with the model
   by zoo name (:func:`point_to_wire` / :func:`point_from_wire`) — the
-  same rendering :meth:`~repro.sim.sweep.SweepRecord.snapshot` uses;
+  same rendering :meth:`~repro.sim.sweep.SweepRecord.snapshot` uses.
+  Schedule-valued fields of the failure kinds (``crash_schedule``,
+  ``membership_schedule``, ``straggler_factors``) arrive as JSON arrays;
+  ``SweepPoint.__post_init__`` normalises them back to the canonical
+  sorted tuples, so wire points and native points hash/compare equal;
 * a **result record** travels as the fully-invertible snapshot form
   (:meth:`~repro.sim.sweep.SweepRecord.snapshot` with embedded
   timelines), so a client rehydrates byte-identical records with

@@ -7,6 +7,11 @@ from repro.sim.accuracy import (
     time_to_accuracy,
 )
 from repro.sim.distributed import DistributedEpoch, DistributedResult, DistributedTraining
+from repro.sim.failures import (
+    FailureEpoch,
+    FailureScenario,
+    FailureScenarioResult,
+)
 from repro.sim.engine import (
     BatchTimes,
     PipelineSimulator,
@@ -22,6 +27,7 @@ from repro.sim.single_server import (
 )
 from repro.sim.sweep import (
     DISTRIBUTED_KINDS,
+    FAILURE_KINDS,
     HP_SEARCH_KINDS,
     SweepPoint,
     SweepRecord,
@@ -40,6 +46,10 @@ __all__ = [
     "SweepResult",
     "HP_SEARCH_KINDS",
     "DISTRIBUTED_KINDS",
+    "FAILURE_KINDS",
+    "FailureScenario",
+    "FailureScenarioResult",
+    "FailureEpoch",
     "SingleServerTraining",
     "SingleServerResult",
     "build_loader",

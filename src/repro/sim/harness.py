@@ -7,12 +7,16 @@ golden-regression tests (``tests/test_golden_sweeps.py``), the property
 tests (``tests/test_sweep_parallel.py``) and the regeneration tool
 (``tools/make_golden.py``) use to state that promise:
 
-* :data:`GOLDEN_GRIDS` — five small, fast reference grids: a Fig. 3 cache
+* :data:`GOLDEN_GRIDS` — seven small, fast reference grids: a Fig. 3 cache
   sweep (single-server training points), a Fig. 9(b) distributed grid, a
-  Tab. 7 HP-search grid, a warm multi-epoch Fig. 3 grid and a
+  Tab. 7 HP-search grid, a warm multi-epoch Fig. 3 grid, a
   thrashing-regime Fig. 9(d) grid (the last two drive the segmented-LRU
   warm kernel, and are additionally asserted byte-identical with the
-  kernel disabled via :data:`~repro.cache.warm_kernel.WARM_KERNEL_ENV_VAR`);
+  kernel disabled via :data:`~repro.cache.warm_kernel.WARM_KERNEL_ENV_VAR`),
+  and two failure-scenario grids — crash/re-warm plus multi-tenant HP
+  (``fig_crash_small``) and elastic membership plus stragglers
+  (``fig_elastic_small``) — pinning the deterministic ``FailureEvent``
+  traces emitted by :class:`~repro.sim.failures.FailureScenario`;
 * :func:`run_golden_grid` — build the grid's runner, run it (optionally
   through the worker pool) and return the byte-exact
   :meth:`~repro.sim.sweep.SweepResult.snapshot`;
@@ -104,6 +108,44 @@ def _fig9d_points() -> List[SweepPoint]:
         cache_fractions=(0.35, 0.65), dataset="imagenet-1k", num_jobs=4)
 
 
+def _fig_crash_points() -> List[SweepPoint]:
+    """Crash/re-warm slice: CoorDL jobs losing workers mid-training, plus
+    two multi-tenant HP points (shared page cache under 1 vs 4 campaigns)."""
+    common = dict(model=RESNET18, dataset="openimages",
+                  cache_fraction=0.65, num_epochs=4)
+    return [
+        SweepPoint(loader="coordl-crash", num_jobs=4,
+                   crash_schedule=(), label="no-crash", **common),
+        SweepPoint(loader="coordl-crash", num_jobs=4,
+                   crash_schedule=((1, 1),), label="one-crash", **common),
+        SweepPoint(loader="coordl-crash", num_jobs=4,
+                   crash_schedule=((1, 1), (2, 3)), label="two-crashes", **common),
+        SweepPoint(loader="hp-multitenant", num_jobs=2, tenants=1,
+                   label="single-tenant", **common),
+        SweepPoint(loader="hp-multitenant", num_jobs=2, tenants=4,
+                   label="four-tenants", **common),
+    ]
+
+
+def _fig_elastic_points() -> List[SweepPoint]:
+    """Elasticity slice: servers joining/leaving a CoorDL partition, plus
+    skewed-rate stragglers degrading the slowest rank."""
+    common = dict(model=RESNET18, dataset="openimages",
+                  cache_fraction=0.5, num_epochs=4)
+    return [
+        SweepPoint(loader="coordl-elastic", num_servers=2,
+                   membership_schedule=(), label="static-2", **common),
+        SweepPoint(loader="coordl-elastic", num_servers=2,
+                   membership_schedule=((1, 4),), label="grow-to-4", **common),
+        SweepPoint(loader="coordl-elastic", num_servers=4,
+                   membership_schedule=((2, 2),), label="shrink-to-2", **common),
+        SweepPoint(loader="coordl-straggler", num_servers=2,
+                   straggler_factors=(4.0,), label="one-straggler-4x", **common),
+        SweepPoint(loader="coordl-straggler", num_servers=2,
+                   straggler_factors=(1.0, 2.0), label="rank1-2x", **common),
+    ]
+
+
 #: The committed reference grids, by name.
 GOLDEN_GRIDS: Dict[str, GoldenGrid] = {
     grid.name: grid
@@ -113,6 +155,8 @@ GOLDEN_GRIDS: Dict[str, GoldenGrid] = {
         GoldenGrid("tab7_small", config_ssd_v100, _tab7_points),
         GoldenGrid("fig3_warm", config_ssd_v100, _fig3_warm_points),
         GoldenGrid("fig9d_small", config_ssd_v100, _fig9d_points),
+        GoldenGrid("fig_crash_small", config_ssd_v100, _fig_crash_points),
+        GoldenGrid("fig_elastic_small", config_hdd_1080ti, _fig_elastic_points),
     )
 }
 

@@ -16,12 +16,16 @@ replaces those loops with one subsystem that
 * returns a tidy :class:`SweepResult` the experiment modules reduce into
   their :class:`~repro.experiments.base.ExperimentResult` tables.
 
-Three point kinds are supported: single-server training sweeps
+Four point-kind families are supported: single-server training sweeps
 (``loader`` in :data:`~repro.sim.single_server.LOADER_KINDS`), HP-search
 scenario sweeps (``loader`` in :data:`HP_SEARCH_KINDS`, which run
-:class:`~repro.sim.hp_search.HPSearchScenario` per point), and multi-server
+:class:`~repro.sim.hp_search.HPSearchScenario` per point), multi-server
 distributed sweeps (``loader`` in :data:`DISTRIBUTED_KINDS`, which run
-:class:`~repro.sim.distributed.DistributedTraining` per point).
+:class:`~repro.sim.distributed.DistributedTraining` per point), and
+failure/elasticity sweeps (``loader`` in :data:`FAILURE_KINDS`, which run
+:class:`~repro.sim.failures.FailureScenario` per point and fold a
+deterministic :class:`~repro.coordl.failure.FailureEvent` trace into the
+snapshot).
 
 Because every point is an independent simulation, :meth:`SweepRunner.run`
 can fan a grid out over a spawn-safe ``multiprocessing`` worker pool
@@ -71,8 +75,14 @@ from repro.datasets.sampler import CachingSampler, RandomSampler, Sampler
 from repro.exceptions import ConfigurationError, SimulationError, SweepPointError
 from repro.pipeline.stats import EpochStats, TrainingRunStats
 from repro.storage.iostats import IOStats
+from repro.coordl.failure import FailureEvent
 from repro.sim.distributed import DistributedEpoch, DistributedResult, DistributedTraining
 from repro.sim.engine import PipelineSimulator
+from repro.sim.failures import (
+    FailureEpoch,
+    FailureScenario,
+    FailureScenarioResult,
+)
 from repro.sim.hp_search import HPSearchResult, HPSearchScenario
 from repro.sim.single_server import LOADER_KINDS, build_loader
 
@@ -83,6 +93,22 @@ HP_SEARCH_KINDS = ("hp-baseline", "hp-coordl")
 #: Sweep-point kinds simulated through :class:`DistributedTraining`
 #: (``cache_fraction`` / ``cache_bytes`` are per-server budgets there).
 DISTRIBUTED_KINDS = ("dist-baseline", "dist-coordl")
+
+#: Sweep-point kinds simulated through :class:`~repro.sim.failures.
+#: FailureScenario` — the unhappy paths (crashes, elastic membership,
+#: stragglers, multi-tenant cache contention).  ``cache_fraction`` /
+#: ``cache_bytes`` are per-server budgets for the elastic/straggler kinds.
+FAILURE_KINDS = ("coordl-crash", "coordl-elastic", "coordl-straggler",
+                 "hp-multitenant")
+
+#: Failure-kind → the scenario fields it plumbs through (anything else
+#: kind-specific must stay at its default, enforced by point validation).
+_FAILURE_FIELDS = {
+    "coordl-crash": ("num_jobs", "crash_schedule"),
+    "coordl-elastic": ("num_servers", "membership_schedule"),
+    "coordl-straggler": ("num_servers", "straggler_factors"),
+    "hp-multitenant": ("num_jobs", "tenants"),
+}
 
 #: Environment variable supplying the default worker count of
 #: :meth:`SweepRunner.run` when the caller does not pass ``workers=``
@@ -133,8 +159,22 @@ class SweepPoint:
         gpu_prep: Force GPU prep on/off (``None``: faster variant; treated
             as off for distributed points, matching Fig. 9b).
         num_epochs: Epochs to simulate (first is the cold-cache warm-up).
-        num_jobs / gpus_per_job: HP-search points only.
-        num_servers: Distributed points only (homogeneous servers).
+        num_jobs / gpus_per_job: HP-search points only (``num_jobs`` is
+            also the crash kind's job count and the per-tenant job count
+            of ``hp-multitenant``).
+        num_servers: Distributed and elastic/straggler points only
+            (homogeneous servers; the *initial* membership for
+            ``coordl-elastic``).
+        crash_schedule: ``coordl-crash`` only — ``(epoch, job)`` pairs;
+            normalised to sorted order, so any permutation is the same
+            point (and the same store key).
+        membership_schedule: ``coordl-elastic`` only — ``(epoch, count)``
+            pairs applied at the start of that epoch; sorted, epochs
+            distinct.
+        straggler_factors: ``coordl-straggler`` only — positional
+            per-server fetch slowdowns (padded with 1.0).
+        tenants: ``hp-multitenant`` only — campaigns of ``num_jobs`` jobs
+            each sharing the server.
         label: Free-form tag carried through to the record.
     """
 
@@ -151,10 +191,24 @@ class SweepPoint:
     num_jobs: int = 8
     gpus_per_job: int = 1
     num_servers: int = 2
+    crash_schedule: Tuple[Tuple[int, int], ...] = ()
+    membership_schedule: Tuple[Tuple[int, int], ...] = ()
+    straggler_factors: Tuple[float, ...] = ()
+    tenants: int = 2
     label: str = ""
 
     def __post_init__(self) -> None:
-        known = LOADER_KINDS + HP_SEARCH_KINDS + DISTRIBUTED_KINDS
+        # Normalise the schedule fields first (the serve wire format hands
+        # them back as JSON lists; order canonicalisation makes a permuted
+        # crash schedule the *same* point — same snapshot, same store key).
+        object.__setattr__(self, "crash_schedule", tuple(sorted(
+            (int(e), int(j)) for e, j in self.crash_schedule)))
+        object.__setattr__(self, "membership_schedule", tuple(sorted(
+            (int(e), int(n)) for e, n in self.membership_schedule)))
+        object.__setattr__(self, "straggler_factors", tuple(
+            float(f) for f in self.straggler_factors))
+        known = (LOADER_KINDS + HP_SEARCH_KINDS + DISTRIBUTED_KINDS
+                 + FAILURE_KINDS)
         if self.loader not in known:
             raise ConfigurationError(
                 f"unknown sweep loader {self.loader!r}; expected one of {known}")
@@ -170,7 +224,32 @@ class SweepPoint:
         # Fields that a point kind does not plumb through are rejected rather
         # than silently ignored: a plausible-looking result simulated without
         # the requested knob is worse than an error.
-        if self.is_hp_search or self.is_distributed:
+        scenario_fields = (("num_jobs", self.num_jobs, 8),
+                           ("gpus_per_job", self.gpus_per_job, 1),
+                           ("num_servers", self.num_servers, 2),
+                           ("crash_schedule", self.crash_schedule, ()),
+                           ("membership_schedule", self.membership_schedule, ()),
+                           ("straggler_factors", self.straggler_factors, ()),
+                           ("tenants", self.tenants, 2))
+        if self.is_failure:
+            inapplicable = [("batch_size", self.batch_size),
+                            ("cores", self.cores),
+                            ("num_gpus", self.num_gpus),
+                            ("gpu_prep", self.gpu_prep)]
+            bad = [name for name, value in inapplicable if value is not None]
+            if bad:
+                raise ConfigurationError(
+                    f"{self.loader!r} sweep points do not support {bad} "
+                    "(training-point-only fields)")
+            allowed = _FAILURE_FIELDS[self.loader]
+            bad = [name for name, value, default in scenario_fields
+                   if value != default and name not in allowed]
+            if bad:
+                raise ConfigurationError(
+                    f"{self.loader!r} sweep points do not support {bad} "
+                    "(fields of another scenario kind)")
+            self._validate_failure_point()
+        elif self.is_hp_search or self.is_distributed:
             inapplicable = [("batch_size", self.batch_size),
                             ("cores", self.cores),
                             ("num_gpus", self.num_gpus)]
@@ -181,15 +260,70 @@ class SweepPoint:
                 raise ConfigurationError(
                     f"{self.loader!r} sweep points do not support {bad} "
                     "(training-point-only fields)")
+            failure_only = ("crash_schedule", "membership_schedule",
+                            "straggler_factors", "tenants")
+            bad = [name for name, value, default in scenario_fields
+                   if value != default and name in failure_only]
+            if bad:
+                raise ConfigurationError(
+                    f"{self.loader!r} sweep points do not support {bad} "
+                    "(failure-point-only fields)")
         else:
-            defaults = (("num_jobs", self.num_jobs, 8),
-                        ("gpus_per_job", self.gpus_per_job, 1),
-                        ("num_servers", self.num_servers, 2))
-            bad = [name for name, value, default in defaults if value != default]
+            bad = [name for name, value, default in scenario_fields
+                   if value != default]
             if bad:
                 raise ConfigurationError(
                     f"training sweep points do not support {bad} "
-                    "(HP-search/distributed-point-only fields)")
+                    "(scenario-point-only fields)")
+
+    def _validate_failure_point(self) -> None:
+        """Range/shape checks of the failure kinds' schedule fields."""
+        if self.loader == "coordl-crash":
+            jobs = [job for _, job in self.crash_schedule]
+            for epoch, job in self.crash_schedule:
+                if not 0 <= epoch < self.num_epochs:
+                    raise ConfigurationError(
+                        f"crash epoch {epoch} outside [0, {self.num_epochs})")
+                if not 0 <= job < self.num_jobs:
+                    raise ConfigurationError(
+                        f"crashed job {job} outside [0, {self.num_jobs})")
+            if len(set(jobs)) != len(jobs):
+                raise ConfigurationError(
+                    "a job can crash at most once (dead jobs stay dead)")
+            if len(jobs) >= self.num_jobs:
+                raise ConfigurationError(
+                    "crash schedule must leave at least one surviving job")
+        elif self.loader == "coordl-elastic":
+            if self.num_servers < 2:
+                raise ConfigurationError(
+                    "elastic sweep points need at least two initial servers")
+            epochs = [epoch for epoch, _ in self.membership_schedule]
+            for epoch, count in self.membership_schedule:
+                if not 1 <= epoch < self.num_epochs:
+                    raise ConfigurationError(
+                        f"membership change at epoch {epoch} outside "
+                        f"[1, {self.num_epochs}) (epoch 0 is the initial "
+                        "membership)")
+                if count < 1:
+                    raise ConfigurationError(
+                        "membership cannot drop below one server")
+            if len(set(epochs)) != len(epochs):
+                raise ConfigurationError(
+                    "at most one membership change per epoch")
+        elif self.loader == "coordl-straggler":
+            if self.num_servers < 2:
+                raise ConfigurationError(
+                    "straggler sweep points need at least two servers")
+            if len(self.straggler_factors) > self.num_servers:
+                raise ConfigurationError(
+                    f"{len(self.straggler_factors)} straggler factors for "
+                    f"{self.num_servers} servers")
+            for factor in self.straggler_factors:
+                if not (factor > 0 and math.isfinite(factor)):
+                    raise ConfigurationError(
+                        "straggler factors must be positive and finite")
+        elif self.tenants < 1:
+            raise ConfigurationError("need at least one tenant")
 
     @property
     def is_hp_search(self) -> bool:
@@ -200,6 +334,11 @@ class SweepPoint:
     def is_distributed(self) -> bool:
         """Whether this point runs through the distributed scenario."""
         return self.loader in DISTRIBUTED_KINDS
+
+    @property
+    def is_failure(self) -> bool:
+        """Whether this point runs through the failure/elasticity scenario."""
+        return self.loader in FAILURE_KINDS
 
     def describe(self) -> str:
         """The point's label, or a synthesised short description.
@@ -229,11 +368,26 @@ def _hex(value: float) -> str:
 
 
 def _canonical(value: Any) -> Any:
-    """JSON-stable scalar for store-key specs (floats byte-exact)."""
+    """JSON-stable value for store-key specs (floats byte-exact).
+
+    Tuples (the schedule fields of the failure kinds) render as lists —
+    the JSON form — element-recursively, so a point's canonical identity
+    is independent of the tuple/list distinction the wire format erases.
+    """
+    if isinstance(value, (tuple, list)):
+        return [_canonical(v) for v in value]
     # bool before float: isinstance(True, int) but bools are JSON-stable.
     if isinstance(value, bool) or not isinstance(value, float):
         return value
     return _hex(value)
+
+
+def _jsonable(value: Any) -> Any:
+    """Tuple-free rendering of a point field for snapshots (JSON round-trip
+    stable: what comes back from ``json.loads`` compares equal)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
 
 
 def _io_snapshot(io: IOStats, include_timeline: bool = False) -> Dict[str, Any]:
@@ -325,7 +479,8 @@ class SweepRecord:
 
     Training points carry the full multi-epoch ``run``; HP-search points
     carry the scenario's steady-state ``hp`` result; distributed points
-    carry the multi-epoch, multi-server ``dist`` result.
+    carry the multi-epoch, multi-server ``dist`` result; failure points
+    carry the multi-epoch ``failure`` result with its event trace.
     """
 
     point: SweepPoint
@@ -334,6 +489,7 @@ class SweepRecord:
     run: Optional[TrainingRunStats] = None
     hp: Optional[HPSearchResult] = None
     dist: Optional[DistributedResult] = None
+    failure: Optional[FailureScenarioResult] = None
 
     @property
     def steady(self) -> EpochStats:
@@ -371,6 +527,16 @@ class SweepRecord:
                 disk_bytes=self.hp.disk_bytes_per_epoch,
                 cache_miss_ratio=self.hp.cache_miss_ratio,
             )
+        elif self.failure is not None:
+            steady = self.failure.steady_epoch_time_s
+            values.update(
+                epoch_time_s=steady,
+                throughput=(self.failure.samples_per_epoch / steady
+                            if steady else 0.0),
+                disk_bytes=self.failure.total_disk_bytes,
+                rewarm_bytes=self.failure.total_rewarm_bytes,
+                events=len(self.failure.events),
+            )
         elif self.dist is not None:
             steady = self.dist_steady
             values.update(
@@ -407,7 +573,7 @@ class SweepRecord:
         """
         point = {
             f.name: (self.point.model.name if f.name == "model"
-                     else getattr(self.point, f.name))
+                     else _jsonable(getattr(self.point, f.name)))
             for f in fields(SweepPoint)
         }
         data: Dict[str, Any] = {
@@ -438,6 +604,27 @@ class SweepRecord:
                  for server in epoch.per_server]
                 for epoch in self.dist.epochs
             ]
+        if self.failure is not None:
+            data["failure"] = {
+                "loader_name": self.failure.loader_name,
+                "samples_per_epoch": self.failure.samples_per_epoch,
+                "epochs": [{
+                    "epoch_time_s": _hex(e.epoch_time_s),
+                    "disk_bytes": _hex(e.disk_bytes),
+                    "remote_bytes": _hex(e.remote_bytes),
+                    "rewarm_bytes": _hex(e.rewarm_bytes),
+                    "stall_s": _hex(e.stall_s),
+                    "cache_miss_ratio": _hex(e.cache_miss_ratio),
+                    "active": e.active,
+                } for e in self.failure.epochs],
+                "events": [{
+                    "kind": ev.kind,
+                    "failed_job": ev.failed_job,
+                    "detected_at": _hex(ev.detected_at),
+                    "reassigned_to": ev.reassigned_to,
+                    "missing_batch_id": ev.missing_batch_id,
+                } for ev in self.failure.events],
+            }
         return data
 
     @classmethod
@@ -491,6 +678,28 @@ class SweepRecord:
                 epochs=[DistributedEpoch(per_server=[
                     _epoch_from_snapshot(server) for server in epoch])
                     for epoch in data["dist"]],
+            )
+        if "failure" in data:
+            failure = data["failure"]
+            record.failure = FailureScenarioResult(
+                loader_name=failure["loader_name"],
+                samples_per_epoch=int(failure["samples_per_epoch"]),
+                epochs=[FailureEpoch(
+                    epoch_time_s=float.fromhex(e["epoch_time_s"]),
+                    disk_bytes=float.fromhex(e["disk_bytes"]),
+                    remote_bytes=float.fromhex(e["remote_bytes"]),
+                    rewarm_bytes=float.fromhex(e["rewarm_bytes"]),
+                    stall_s=float.fromhex(e["stall_s"]),
+                    cache_miss_ratio=float.fromhex(e["cache_miss_ratio"]),
+                    active=int(e["active"]),
+                ) for e in failure["epochs"]],
+                events=[FailureEvent(
+                    kind=ev["kind"],
+                    failed_job=int(ev["failed_job"]),
+                    detected_at=float.fromhex(ev["detected_at"]),
+                    reassigned_to=int(ev["reassigned_to"]),
+                    missing_batch_id=int(ev["missing_batch_id"]),
+                ) for ev in failure["events"]],
             )
         return record
 
@@ -956,6 +1165,8 @@ class SweepRunner:
             return self._run_hp_point(point)
         if point.is_distributed:
             return self._run_distributed_point(point)
+        if point.is_failure:
+            return self._run_failure_point(point)
         dataset, server = self._resolve(point)
         seed = self.point_seed(point)
         # dali-seq builds its own shuffle-buffer sampler (the storage-visible
@@ -1011,6 +1222,31 @@ class SweepRunner:
                                        seed=seed)
         return SweepRecord(point=point, dataset_name=dataset.spec.name,
                            loader_name=dist.loader_name, dist=dist)
+
+    def _run_failure_point(self, point: SweepPoint) -> SweepRecord:
+        dataset, server = self._resolve(point)
+        # The scenario seed doubles as the FailureDetector's replacement-
+        # picking seed, so crash traces are a pure function of the point
+        # spec — byte-identical at any worker count.
+        scenario = FailureScenario(point.model, dataset, server,
+                                   seed=self.point_seed(point),
+                                   fast_path=self._fast_path)
+        if point.loader == "coordl-crash":
+            failure = scenario.run_crash(point.num_jobs, point.crash_schedule,
+                                         point.num_epochs)
+        elif point.loader == "coordl-elastic":
+            failure = scenario.run_elastic(point.num_servers,
+                                           point.membership_schedule,
+                                           point.num_epochs)
+        elif point.loader == "coordl-straggler":
+            failure = scenario.run_straggler(point.num_servers,
+                                             point.straggler_factors,
+                                             point.num_epochs)
+        else:
+            failure = scenario.run_multitenant(point.tenants, point.num_jobs,
+                                               point.num_epochs)
+        return SweepRecord(point=point, dataset_name=dataset.spec.name,
+                           loader_name=failure.loader_name, failure=failure)
 
 
 def _point_error(point: SweepPoint, original: BaseException,

@@ -1,0 +1,141 @@
+"""Direct unit tests for :mod:`repro.coordl.failure`.
+
+The scenario-level tests (``tests/test_failure_scenarios.py``) drive the
+detector through whole simulated epochs; these pin the state machine itself:
+report transitions, timeout scaling, event ordering, and the seeded
+replacement choice the sweep runner's byte-identity contract relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coordl.failure import (
+    FailureDetector,
+    FailureEvent,
+    JobState,
+    RecoveryAction,
+    TimeoutReport,
+)
+from repro.exceptions import JobFailedError
+
+
+def _report(producer: int, *, reporter: int = 0, batch: int = 7,
+            at: float = 1.0) -> TimeoutReport:
+    return TimeoutReport(reporting_job=reporter, missing_batch_id=batch,
+                         suspected_producer=producer, reported_at=at)
+
+
+class TestReportTransitions:
+    def test_alive_then_dead_then_stale(self):
+        """One detector walked through all three actions, in order."""
+        alive = {0, 1, 2, 3}
+        detector = FailureDetector(4, 1.0, liveness_probe=lambda j: j in alive)
+        assert detector.report_timeout(_report(2)) is RecoveryAction.RETRY
+        alive.discard(2)
+        assert detector.report_timeout(_report(2)) is RecoveryAction.RESPAWN
+        # A stale report never consults liveness or mutates states.
+        assert detector.report_timeout(
+            _report(1), batch_is_now_staged=True) is RecoveryAction.NONE
+        assert detector.state(1) is JobState.RUNNING
+        assert detector.state(2) is JobState.DEAD
+        assert len(detector.reports) == 3
+        assert len(detector.events) == 1
+
+    def test_respawn_for_already_marked_dead_producer(self):
+        detector = FailureDetector(3, 1.0)
+        detector.mark_dead(1)
+        assert detector.report_timeout(_report(1)) is RecoveryAction.RESPAWN
+
+    def test_timeout_s_scales_with_iteration_time_and_multiplier(self):
+        assert FailureDetector(2, 0.25).timeout_s == pytest.approx(2.5)
+        assert FailureDetector(2, 0.25, timeout_multiplier=4.0).timeout_s \
+            == pytest.approx(1.0)
+
+    def test_event_ordering_matches_report_order(self):
+        alive = {0, 1, 2, 3}
+        detector = FailureDetector(4, 1.0, liveness_probe=lambda j: j in alive)
+        alive.discard(3)
+        detector.report_timeout(_report(3, at=2.0, batch=30))
+        alive.discard(1)
+        detector.report_timeout(_report(1, at=5.0, batch=10))
+        events = detector.events
+        assert [e.failed_job for e in events] == [3, 1]
+        assert [e.detected_at for e in events] == [2.0, 5.0]
+        assert [e.missing_batch_id for e in events] == [30, 10]
+        assert all(e.kind == "crash" for e in events)
+
+    def test_events_property_returns_a_copy(self):
+        detector = FailureDetector(2, 1.0, liveness_probe=lambda j: j != 1)
+        detector.report_timeout(_report(1))
+        detector.events.append(FailureEvent(0, 0.0, 0, 0))
+        assert len(detector.events) == 1
+
+
+class TestReplacementPicking:
+    def test_never_returns_dead_or_excluded_job(self):
+        """Across a cascade of crashes the replacement is always a survivor."""
+        for seed in (None, 0, 1, 12345):
+            alive = {0, 1, 2, 3, 4}
+            detector = FailureDetector(5, 1.0, seed=seed,
+                                       liveness_probe=lambda j: j in alive)
+            for victim in (3, 0, 4, 2):
+                alive.discard(victim)
+                detector.report_timeout(_report(victim, reporter=min(alive)))
+                replacement = detector.events[-1].reassigned_to
+                assert replacement in alive
+                assert replacement != victim
+            with pytest.raises(JobFailedError):
+                alive.discard(1)
+                detector.report_timeout(_report(1))
+
+    def test_unseeded_detector_keeps_legacy_lowest_survivor(self):
+        detector = FailureDetector(4, 1.0, liveness_probe=lambda j: j != 2)
+        detector.report_timeout(_report(2))
+        assert detector.events[0].reassigned_to == 0
+
+    def test_seeded_picks_are_reproducible(self):
+        """Regression: replacement choice is a pure function of the seed and
+        the detector's history — replaying the same reports under the same
+        seed yields identical picks (no ambient RNG)."""
+        def run(seed):
+            alive = {0, 1, 2, 3, 4, 5}
+            detector = FailureDetector(6, 1.0, seed=seed,
+                                       liveness_probe=lambda j: j in alive)
+            for victim in (4, 1, 5):
+                alive.discard(victim)
+                detector.report_timeout(_report(victim, reporter=min(alive)))
+            return [e.reassigned_to for e in detector.events]
+
+        assert run(7) == run(7)
+        assert run(8) == run(8)
+        # Different seeds spread the choice (not a hard guarantee for any
+        # single pair, but these two differ and pin the seed actually being
+        # consumed rather than ignored).
+        assert run(7) != run(8) or run(7) != [0, 0, 0]
+
+    def test_seeded_pick_varies_with_event_count(self):
+        """The digest keys on the event count, so a second crash with the
+        same victim set does not have to mirror the first pick."""
+        alive = {0, 1, 2, 3, 4, 5, 6, 7}
+        detector = FailureDetector(8, 1.0, seed=2,
+                                   liveness_probe=lambda j: j in alive)
+        picks = []
+        for victim in (7, 6, 5, 4):
+            alive.discard(victim)
+            detector.report_timeout(_report(victim, reporter=0))
+            picks.append(detector.events[-1].reassigned_to)
+        assert len(set(picks)) > 1  # not pinned to the lowest survivor
+        assert picks != [0, 0, 0, 0]  # and not the legacy choice
+
+
+class TestFailureEventKinds:
+    def test_default_kind_is_crash(self):
+        event = FailureEvent(failed_job=1, detected_at=0.5,
+                             reassigned_to=0, missing_batch_id=3)
+        assert event.kind == "crash"
+
+    def test_sentinel_fields_for_membership_events(self):
+        join = FailureEvent(failed_job=-1, detected_at=1.0,
+                            reassigned_to=2, missing_batch_id=-1, kind="join")
+        assert join.failed_job == -1 and join.missing_batch_id == -1

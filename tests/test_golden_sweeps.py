@@ -4,8 +4,12 @@ Each committed file under ``tests/golden/`` is the byte-exact snapshot
 (:meth:`~repro.sim.sweep.SweepResult.snapshot`, ``float.hex`` floats) of a
 small reference grid — Fig. 3 (single-server training points), Fig. 9(b)
 (distributed points), Tab. 7 (HP-search points), a warm multi-epoch Fig. 3
-grid and a thrashing-regime Fig. 9(d) grid (the last two exercise the
-segmented-LRU warm kernel).  The tests assert that
+grid, a thrashing-regime Fig. 9(d) grid (the last two exercise the
+segmented-LRU warm kernel), and two failure-scenario grids
+(crash/multi-tenant and elastic/straggler points, whose deterministic
+``FailureEvent`` traces are part of the committed bytes; these two are
+additionally driven cold-then-warm through both result-store backends
+with a zero-simulation warm-pass gate).  The tests assert that
 :class:`~repro.sim.sweep.SweepRunner` reproduces every one of them
 bit-for-bit serially (``workers=0``) and through the spawn worker pool
 (``workers=1`` and ``workers=4``): parallel execution must not change a
@@ -41,6 +45,10 @@ GRID_NAMES = sorted(GOLDEN_GRIDS)
 
 #: Grids whose warm/thrashing epochs run through the segmented-LRU kernel.
 WARM_KERNEL_GRIDS = ("fig3_warm", "fig9d_small")
+
+#: Grids made of failure/elasticity points — their deterministic
+#: ``FailureEvent`` traces are part of the committed bytes.
+FAILURE_GRIDS = ("fig_crash_small", "fig_elastic_small")
 
 
 @pytest.mark.parametrize("name", GRID_NAMES)
@@ -102,6 +110,42 @@ def test_fig9d_dali_side_reproduces_golden_without_fast_path():
                 "fig9d_small: HP-search baseline point diverged between "
                 "the kernel and the per-item reference scenario")
     assert compared, "fig9d grid lost its dali side"
+
+
+@pytest.mark.parametrize("backend", ["json", "sqlite"])
+@pytest.mark.parametrize("name", FAILURE_GRIDS)
+def test_failure_grid_cold_then_warm_through_store(name, backend, tmp_path,
+                                                   monkeypatch):
+    """Failure traces survive the content-addressed store bit for bit.
+
+    A cold store-backed run must match the committed snapshot (all misses),
+    and a warm second run must rehydrate every record — events included —
+    without a single simulation, on both store backends.
+    """
+    from repro.sim.sweep import SweepRunner
+
+    location = (f"sqlite://{tmp_path / 'store.db'}" if backend == "sqlite"
+                else str(tmp_path / "store"))
+    expected = load_golden(name, GOLDEN_DIR)
+    grid = GOLDEN_GRIDS[name]
+
+    simulations = []
+    original = SweepRunner._run_point
+
+    def counting(self, point):
+        simulations.append(point)
+        return original(self, point)
+
+    monkeypatch.setattr(SweepRunner, "_run_point", counting)
+    cold = grid.build_runner().run(grid.points(), store=location).snapshot()
+    assert not snapshot_diff(expected, cold)
+    assert len(simulations) == len(grid.points())
+
+    simulations.clear()
+    warm = grid.build_runner().run(grid.points(), store=location).snapshot()
+    assert not snapshot_diff(expected, warm)
+    assert simulations == [], (
+        f"{name}: warm store pass re-simulated {len(simulations)} points")
 
 
 @pytest.mark.parametrize("name", GRID_NAMES)

@@ -26,7 +26,10 @@ trade-off alongside ``BENCH_sweep.json``.
 
 Run as ``make store-check`` (both backends), ``make store-check-sqlite``
 (SQLite only), or ``PYTHONPATH=src python tools/store_check.py
-[--serve] [--backend json|sqlite|both]``.  Stores are scratched under the
+[--serve] [--backend json|sqlite|both] [--grids NAME ...]`` (``--grids``
+restricts the gate to a subset of the committed grids — the
+``failure-scenarios`` CI leg gates just the two failure grids through the
+serve path this way).  Stores are scratched under the
 ``REPRO_SWEEP_STORE`` location when set (what the CI leg does), else a
 temporary directory.
 """
@@ -78,7 +81,7 @@ def backend_location(root: pathlib.Path, backend: str) -> str:
     return str(root / "store")
 
 
-def run_gate(location: str, backend: str) -> dict:
+def run_gate(location: str, backend: str, grids: dict) -> dict:
     """Cold/warm passes on one backend; returns its stats payload."""
     simulated = []
     original_run_point = SweepRunner._run_point
@@ -89,7 +92,6 @@ def run_gate(location: str, backend: str) -> dict:
 
     SweepRunner._run_point = counting_run_point
     try:
-        grids = {name: GOLDEN_GRIDS[name] for name in CHECKED_GRIDS}
         # workers=0 pins the serial executor: the gate counts simulations
         # through a parent-process instrumentation hook that spawn workers
         # would not see, and the store contract is worker-count-invariant
@@ -163,10 +165,10 @@ def run_gate(location: str, backend: str) -> dict:
     }
 
 
-def run_serve_gate(location: str, backend: str) -> dict:
+def run_serve_gate(location: str, backend: str, grids: dict) -> dict:
     """Golden round-trip through the serve daemon on one backend.
 
-    Every committed golden grid, fetched twice over HTTP from one
+    Every selected golden grid, fetched twice over HTTP from one
     in-process daemon: the warm pass must do zero simulations, and both
     passes must rehydrate byte-identical to ``tests/golden``.
     """
@@ -188,7 +190,7 @@ def run_serve_gate(location: str, backend: str) -> dict:
             client = ServeClient(daemon.url)
             for passname in ("cold_s", "warm_s"):
                 before = len(simulated)
-                for name, grid in GOLDEN_GRIDS.items():
+                for name, grid in grids.items():
                     runner = grid.build_runner()
                     start = time.perf_counter()
                     results = client.whatif(runner, grid.points())
@@ -268,8 +270,14 @@ def main() -> int:
                         help="run the gate through the serve daemon")
     parser.add_argument("--backend", choices=(*BACKENDS, "both"),
                         default="both", help="backend(s) to gate")
+    parser.add_argument("--grids", nargs="+", metavar="NAME",
+                        choices=sorted(GOLDEN_GRIDS), default=None,
+                        help="restrict the gate to these golden grids "
+                             "(default: all committed grids)")
     args = parser.parse_args()
     selected = BACKENDS if args.backend == "both" else (args.backend,)
+    grid_names = tuple(sorted(args.grids)) if args.grids else CHECKED_GRIDS
+    grids = {name: GOLDEN_GRIDS[name] for name in grid_names}
 
     scratch = _scratch_root()
     per_backend = {}
@@ -279,16 +287,16 @@ def main() -> int:
             root.mkdir(parents=True, exist_ok=True)
             location = backend_location(root, backend)
             if args.serve:
-                per_backend[backend] = run_serve_gate(location, backend)
+                per_backend[backend] = run_serve_gate(location, backend, grids)
             else:
-                per_backend[backend] = run_gate(location, backend)
+                per_backend[backend] = run_gate(location, backend, grids)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
 
     if args.serve:
         payload = {
             "schema": "repro-serve-gate/2",
-            "grids": sorted(GOLDEN_GRIDS),
+            "grids": list(grid_names),
             "backends": per_backend,
         }
         SERVE_REPORT_PATH.write_text(
@@ -296,14 +304,14 @@ def main() -> int:
             encoding="utf-8")
         for backend, result in per_backend.items():
             print(f"serve-check[{backend}]: {result['points']} points over "
-                  f"{len(GOLDEN_GRIDS)} golden grids served byte-identical "
+                  f"{len(grids)} golden grids served byte-identical "
                   f"over HTTP; warm pass pure store reads (cold "
                   f"{result['cold_s']:.2f} s, warm {result['warm_s']:.2f} s)")
         print(f"serve-check: latency -> {SERVE_REPORT_PATH.name}")
         return 0
     payload = {
         "schema": "repro-store-gate/2",
-        "grids": list(CHECKED_GRIDS),
+        "grids": list(grid_names),
         "backends": per_backend,
         "comparison": _comparison(per_backend),
     }
@@ -311,7 +319,7 @@ def main() -> int:
                            encoding="utf-8")
     for backend, result in per_backend.items():
         print(f"store-check[{backend}]: {result['points']} points over "
-              f"{len(CHECKED_GRIDS)} grids; warm pass all hits and "
+              f"{len(grids)} grids; warm pass all hits and "
               f"byte-identical (cold {result['cold_s']:.2f} s, warm "
               f"{result['warm_s']:.2f} s, {result['speedup']}x; hit "
               f"{result['hit_ms']:.2f} ms, stats {result['stats_ms']:.2f} ms)")
