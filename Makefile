@@ -6,7 +6,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-workers bench bench-json bench-smoke bench-parallel \
         bench-store docs-check store-check store-check-sqlite serve-check \
-        failure-check check
+        failure-check chaos-check check
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -84,8 +84,22 @@ failure-check:
 	$(PYTHON) tools/store_check.py --serve \
 	    --grids fig_crash_small fig_elastic_small
 
+## Resilience gate: the chaos test suite (deterministic fault injection,
+## supervised-pool kill/respawn recovery, store degradation ladders, serve
+## admission control), then the store round-trip gate re-run under the
+## committed fault plan (transient faults must be absorbed by retries),
+## then every committed golden grid replayed under that plan through a
+## supervised worker pool on both backends — byte-identical despite
+## SIGKILLed workers and injected store errors.  Delivered-fault counters
+## land in BENCH_resilience.json (repo root).
+chaos-check:
+	$(PYTHON) -m pytest -x -q tests/test_resilience.py
+	REPRO_FAULT_PLAN=tools/fault_plans/ci.json $(PYTHON) tools/store_check.py
+	$(PYTHON) tools/chaos_check.py
+
 ## Everything the CI gate's main leg runs (the parallel-workers, store and
 ## serve legs add `make test-workers bench-smoke bench-parallel` under
 ## REPRO_SWEEP_WORKERS=2, `make test store-check` under REPRO_SWEEP_STORE,
-## `make serve-check`, and `make failure-check` respectively).
+## `make serve-check`, `make failure-check`, and `make chaos-check`
+## respectively).
 check: test docs-check bench-smoke store-check

@@ -130,6 +130,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                        help="default per-request deadline for queries that "
                             "do not carry one")
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                       help="admission limit on concurrently-running sweep "
+                            "requests; excess requests get 503 + Retry-After "
+                            "(default 64)")
+    serve.add_argument("--point-retries", type=int, default=None, metavar="N",
+                       help="re-runs a failing point gets before its error "
+                            "is served (default 1)")
     _add_store_flags(serve)
 
     query = sub.add_parser(
@@ -183,6 +190,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--deadline", type=float, default=None,
                        metavar="SECONDS", help="per-request deadline; late "
                        "points come back marked timed_out")
+    query.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="re-sends after a refused/reset connection or a "
+                            "503 rejection, with capped exponential backoff "
+                            "(default 3; 0 disables)")
     return parser
 
 
@@ -295,11 +306,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.batcher import DEFAULT_WINDOW_S
     from repro.serve.server import DEFAULT_DEADLINE_S
 
+    extra = {}
+    if args.max_inflight is not None:
+        extra["max_inflight"] = args.max_inflight
+    if args.point_retries is not None:
+        extra["point_retries"] = args.point_retries
     daemon = ServeDaemon(
         args.host, args.port, store=_store_arg(args), workers=args.workers,
         window_s=DEFAULT_WINDOW_S if args.window is None else args.window,
         default_deadline_s=(DEFAULT_DEADLINE_S if args.deadline is None
-                            else args.deadline))
+                            else args.deadline),
+        **extra)
     print(f"serving on {daemon.url} "
           f"(store: {daemon.store.directory if daemon.store else 'off'}, "
           f"pool workers: {daemon.pool.workers if daemon.pool else 0})",
@@ -324,7 +341,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient
     from repro.sim.sweep import SweepPoint, SweepRunner
 
-    client = ServeClient(args.url)
+    client = (ServeClient(args.url) if args.retries is None
+              else ServeClient(args.url, retries=args.retries))
     if args.health:
         print(json.dumps(client.health(), indent=2))
         return 0

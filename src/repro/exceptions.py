@@ -64,3 +64,40 @@ class SweepPointError(ReproError):
 
 class ProfilingError(ReproError):
     """DS-Analyzer could not complete a measurement phase."""
+
+
+class ResilienceError(ReproError):
+    """Base class for runtime-resilience failures (fault injection/recovery)."""
+
+
+class WorkerLostError(ResilienceError):
+    """A pool worker died and the respawn budget could not recover the run.
+
+    Raised by :class:`repro.resilience.SupervisedExecutor` once a single
+    ``run_chunks`` call has rebuilt the worker pool ``max_respawns`` times
+    and chunks are still being lost.  :class:`repro.store.PersistentPool`
+    converts it into a labelled
+    :class:`~repro.exceptions.SweepPointError` naming the lowest lost
+    point, so sweep callers see the same failure protocol whether a point
+    raised or its worker was killed.
+
+    Attributes:
+        pending_chunks: The task chunks that were still unfinished when the
+            budget ran out (opaque to the executor; the pool reads the task
+            indices back out of them).
+        respawns: How many pool rebuilds this run burned before giving up.
+    """
+
+    def __init__(self, message: str, pending_chunks: list | None = None,
+                 respawns: int = 0) -> None:
+        super().__init__(message)
+        self.pending_chunks: list = pending_chunks or []
+        self.respawns = respawns
+
+
+class TransientFaultError(ResilienceError):
+    """An injected fault that a retry policy is expected to absorb."""
+
+
+class PermanentFaultError(ResilienceError):
+    """An injected fault that no retry will fix (models ENOSPC and friends)."""

@@ -18,6 +18,13 @@ the simulation keeps running into the store.
 
 Surfaced on the command line as ``repro serve`` (start a daemon) and
 ``repro query`` (health / stats / what-if / experiment against one).
+
+The layer is resilient by default: the daemon admission-controls
+sweep-running POSTs (at most ``max_inflight`` concurrently; excess gets
+``503`` + ``Retry-After``), drains gracefully on close, and reports
+per-subsystem degradation on ``/v1/health``; the client transparently
+retries idempotent requests over connection resets, refused connects and
+``503`` rejections with capped exponential backoff.
 """
 
 from repro.serve.batcher import (
@@ -28,10 +35,20 @@ from repro.serve.batcher import (
     PointOutcome,
     QueryTicket,
 )
-from repro.serve.client import ServeClient, ServeError, WhatIfResult
+from repro.serve.client import (
+    DEFAULT_BACKOFF_S,
+    DEFAULT_CLIENT_RETRIES,
+    MAX_BACKOFF_S,
+    MAX_RETRY_AFTER_S,
+    ServeClient,
+    ServeError,
+    WhatIfResult,
+)
 from repro.serve.protocol import (
     ALLOWED_FACTORY_MODULES,
+    BUSY_REASONS,
     PROTOCOL_VERSION,
+    RETRY_AFTER_HEADER,
     point_from_wire,
     point_to_wire,
     points_from_wire,
@@ -42,6 +59,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.server import (
     DEFAULT_DEADLINE_S,
+    DEFAULT_MAX_INFLIGHT,
     ServeDaemon,
     latency_percentiles,
 )
@@ -64,8 +82,15 @@ __all__ = [
     "record_to_wire",
     "record_from_wire",
     "ALLOWED_FACTORY_MODULES",
+    "BUSY_REASONS",
     "PROTOCOL_VERSION",
+    "RETRY_AFTER_HEADER",
     "DEFAULT_DEADLINE_S",
     "DEFAULT_WINDOW_S",
     "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_CLIENT_RETRIES",
+    "DEFAULT_BACKOFF_S",
+    "MAX_BACKOFF_S",
+    "MAX_RETRY_AFTER_S",
 ]

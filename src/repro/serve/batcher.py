@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.resilience.faults import FaultInjector, active_injector
 from repro.sim.sweep import SweepPoint, SweepRecord, SweepRunner
 from repro.store import PersistentPool, SweepStore, store_key
 
@@ -167,18 +168,27 @@ class CoalescingBatcher:
         workers: Per-run worker count when no pool is given.
         window_s: Coalescing window (see :data:`DEFAULT_WINDOW_S`).
         max_attempts: Simulation attempts per point before its future
-            carries the error (see :data:`DEFAULT_MAX_ATTEMPTS`).
+            carries the error (see :data:`DEFAULT_MAX_ATTEMPTS`);
+            ``ServeDaemon(point_retries=N)`` configures it as ``N + 1``.
+        fault_injector: Optional
+            :class:`~repro.resilience.FaultInjector` whose batch-stall
+            schedule fires before each batch ``run()`` attempt; defaults
+            to the process-wide injector (``REPRO_FAULT_PLAN``), which
+            is ``None`` — no injection, no overhead — in normal
+            operation.
 
     Counters (for ``/v1/stats`` and the tests): ``submitted_requests``,
     ``submitted_points``, ``attached_points`` (dedup against an in-flight
-    future), ``batches`` (one per ``run()`` call), ``batched_points``.
+    future), ``batches`` (one per ``run()`` call), ``batched_points``,
+    ``point_retries`` (points re-attempted after a failed attempt).
     """
 
     def __init__(self, store: Optional[SweepStore] = None,
                  pool: Optional[PersistentPool] = None,
                  workers: int = 0,
                  window_s: float = DEFAULT_WINDOW_S,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         if window_s < 0:
             raise ConfigurationError("window_s must be >= 0")
         if max_attempts < 1:
@@ -188,6 +198,8 @@ class CoalescingBatcher:
         self._workers = workers
         self._window_s = window_s
         self._max_attempts = max_attempts
+        self._injector = (fault_injector if fault_injector is not None
+                          else active_injector())
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._inflight: Dict[str, PointFuture] = {}
@@ -203,6 +215,7 @@ class CoalescingBatcher:
         self.attached_points = 0
         self.batches = 0
         self.batched_points = 0
+        self.point_retries = 0
         self._dispatcher = threading.Thread(target=self._dispatch_loop,
                                             name="repro-serve-batcher",
                                             daemon=True)
@@ -299,6 +312,13 @@ class CoalescingBatcher:
         with self._lock:
             self.batches += 1
             self.batched_points += len(entries)
+        if self._injector is not None:
+            # Planned batch stall: models a slow/contended run attempt so
+            # deadline handling and admission control can be exercised
+            # deterministically.
+            stall_s = self._injector.batch_stall()
+            if stall_s > 0:
+                time.sleep(stall_s)
         try:
             runner.run([point for point, _ in entries],
                        workers=self._workers, store=self._store,
@@ -314,9 +334,12 @@ class CoalescingBatcher:
         # Batched attempts (all but the last): the whole remainder through
         # one run() call.  Retrying only what never resolved means a
         # crashed worker degrades to recomputation of its points alone.
-        for _attempt in range(max(1, self._max_attempts - 1)):
+        for attempt in range(max(1, self._max_attempts - 1)):
             if not remaining:
                 break
+            if attempt:
+                with self._lock:
+                    self.point_retries += len(remaining)
             error = self._run_entries(runner, remaining)
             remaining = [(point, future) for point, future in remaining
                          if not future.done]
@@ -330,6 +353,8 @@ class CoalescingBatcher:
                 point, future = entry
                 if future.done:
                     continue
+                with self._lock:
+                    self.point_retries += 1
                 point_error = self._run_entries(runner, [entry])
                 if point_error is not None and not future.done:
                     future.fail(point_error)
@@ -348,6 +373,12 @@ class CoalescingBatcher:
 
     # -- stats / lifecycle ---------------------------------------------------
 
+    @property
+    def inflight_points(self) -> int:
+        """Points currently queued or running (dedup keys held)."""
+        with self._lock:
+            return len(self._inflight)
+
     def stats(self) -> Dict[str, Any]:
         """Session counters (plain dict, ready for the stats endpoint)."""
         with self._lock:
@@ -357,6 +388,7 @@ class CoalescingBatcher:
                 "attached_points": self.attached_points,
                 "batches": self.batches,
                 "batched_points": self.batched_points,
+                "point_retries": self.point_retries,
                 "inflight_points": len(self._inflight),
             }
 

@@ -6,11 +6,21 @@ where one exists — :meth:`ServeClient.whatif` rehydrates served records
 into byte-identical :class:`~repro.sim.sweep.SweepRecord` objects via
 :func:`repro.serve.protocol.record_from_wire`.  The golden round-trip
 gate and ``repro query`` both drive the daemon through this client.
+
+Idempotent requests retry transparently: every endpoint the client
+exposes is safe to re-send (GETs trivially; the sweep POSTs because the
+daemon's answers are content-addressed — re-asking a question computes
+or re-reads the same records), so a connection reset, a refused connect
+(daemon restarting) or a ``503`` admission rejection is retried with
+capped exponential backoff before the error escapes.  ``503`` responses
+honour the daemon's ``Retry-After`` suggestion, capped by
+:data:`MAX_RETRY_AFTER_S` so a confused server cannot park the client.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
@@ -18,11 +28,25 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.serve.protocol import (
+    RETRY_AFTER_HEADER,
     point_to_wire,
     record_from_wire,
     runner_to_wire,
 )
 from repro.sim.sweep import SweepPoint, SweepRecord, SweepRunner
+
+#: Default number of *re-sends* after a retryable failure (connection
+#: reset / refused, 503).  Total attempts = retries + 1.
+DEFAULT_CLIENT_RETRIES = 3
+
+#: First backoff sleep; doubles per retry up to :data:`MAX_BACKOFF_S`.
+DEFAULT_BACKOFF_S = 0.1
+
+#: Ceiling on a single computed backoff sleep.
+MAX_BACKOFF_S = 2.0
+
+#: Ceiling on an honoured ``Retry-After`` header value (seconds).
+MAX_RETRY_AFTER_S = 5.0
 
 
 @dataclass
@@ -43,23 +67,90 @@ class WhatIfResult:
 
 
 class ServeError(ConfigurationError):
-    """An HTTP-level error response from the serve daemon."""
+    """An HTTP-level error response from the serve daemon.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` carries the parsed ``Retry-After`` header (seconds)
+    when the daemon sent one (admission rejections do), else ``None``.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(f"serve daemon returned {status}: {message}")
         self.status = status
+        self.retry_after = retry_after
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header (delta form only), if sane."""
+    if not value:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
+
+def _is_retryable_url_error(exc: urllib.error.URLError) -> bool:
+    """Connection-level failures worth re-sending: the request never
+    reached (or never finished reaching) a healthy daemon."""
+    reason = exc.reason
+    return isinstance(reason, (ConnectionResetError, ConnectionRefusedError,
+                               ConnectionAbortedError, BrokenPipeError))
 
 
 class ServeClient:
-    """Talk to one serve daemon at ``url`` (e.g. ``http://127.0.0.1:8421``)."""
+    """Talk to one serve daemon at ``url`` (e.g. ``http://127.0.0.1:8421``).
 
-    def __init__(self, url: str, timeout_s: float = 600.0) -> None:
+    Args:
+        url: Daemon base URL.
+        timeout_s: Socket timeout per HTTP attempt.
+        retries: Re-sends after a retryable failure (``0`` disables).
+        backoff_s: First backoff sleep; doubles per retry, capped at
+            :data:`MAX_BACKOFF_S` (a 503's ``Retry-After`` takes
+            precedence, capped at :data:`MAX_RETRY_AFTER_S`).
+    """
+
+    def __init__(self, url: str, timeout_s: float = 600.0, *,
+                 retries: int = DEFAULT_CLIENT_RETRIES,
+                 backoff_s: float = DEFAULT_BACKOFF_S) -> None:
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ConfigurationError("backoff_s must be >= 0")
         self._url = url.rstrip("/")
         self._timeout_s = timeout_s
+        self._retries = retries
+        self._backoff_s = backoff_s
+        #: Retried sends this client performed (observable for tests).
+        self.retries_used = 0
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         data = None if body is None else json.dumps(body).encode("utf-8")
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, data)
+            except ServeError as exc:
+                if exc.status != 503 or attempt >= self._retries:
+                    raise
+                delay = exc.retry_after
+                if delay is None:
+                    delay = min(self._backoff_s * (2 ** attempt), MAX_BACKOFF_S)
+                delay = min(delay, MAX_RETRY_AFTER_S)
+            except ConfigurationError as exc:
+                if getattr(exc, "_retryable", False) and attempt < self._retries:
+                    delay = min(self._backoff_s * (2 ** attempt), MAX_BACKOFF_S)
+                else:
+                    raise
+            attempt += 1
+            self.retries_used += 1
+            if delay > 0:
+                time.sleep(delay)
+
+    def _request_once(self, method: str, path: str,
+                      data: Optional[bytes]) -> Dict[str, Any]:
         request = urllib.request.Request(
             self._url + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
@@ -68,20 +159,23 @@ class ServeClient:
                                         timeout=self._timeout_s) as response:
                 payload = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
+            retry_after = _parse_retry_after(
+                exc.headers.get(RETRY_AFTER_HEADER) if exc.headers else None)
             try:
                 message = json.loads(exc.read().decode("utf-8")).get(
                     "error", exc.reason)
             except Exception:
                 message = str(exc.reason)
-            raise ServeError(exc.code, message) from None
+            raise ServeError(exc.code, message, retry_after) from None
         except urllib.error.URLError as exc:
-            raise ConfigurationError(
-                f"cannot reach serve daemon at {self._url}: "
-                f"{exc.reason}") from None
+            error = ConfigurationError(
+                f"cannot reach serve daemon at {self._url}: {exc.reason}")
+            error._retryable = _is_retryable_url_error(exc)
+            raise error from None
         return payload
 
     def health(self) -> Dict[str, Any]:
-        """``GET /v1/health`` — liveness + configuration echo."""
+        """``GET /v1/health`` — liveness + subsystem degradation report."""
         return self._request("GET", "/v1/health")
 
     def stats(self) -> Dict[str, Any]:

@@ -48,6 +48,15 @@ ALLOWED_FACTORY_MODULES = ("repro.cluster.configs",)
 #: protocol changes so a stale client fails loudly instead of misparsing.
 PROTOCOL_VERSION = 1
 
+#: Header carried by 503 responses (admission rejection, draining): how
+#: many seconds the client should wait before retrying.  The client's
+#: retry loop honours it, capped by its own backoff ceiling.
+RETRY_AFTER_HEADER = "Retry-After"
+
+#: Statuses a 503 response's ``reason`` field may carry: the daemon is
+#: either over its in-flight admission limit or draining towards close.
+BUSY_REASONS = ("over_capacity", "draining")
+
 
 def runner_to_wire(runner: SweepRunner) -> Dict[str, Any]:
     """Wire form of one runner configuration.

@@ -30,6 +30,15 @@ the rest — the simulation keeps running and its results land in the
 store, so asking again is cheap.  Responses carry request latency; the
 daemon aggregates latencies for ``/v1/stats`` percentiles (what the CI
 serve gate uploads as ``BENCH_serve.json``).
+
+Resilience: sweep-running POSTs pass admission control — at most
+``max_inflight`` run concurrently; excess requests get ``503`` with a
+``Retry-After`` header instead of queueing unboundedly.  ``close()``
+drains by default: new sweeps are rejected (``503 draining``) while
+requests already admitted run to completion.  ``/v1/health`` reports
+per-subsystem degradation (store mode, pool respawns, batcher retries,
+admission pressure) so an operator — or the chaos gate — can see a
+daemon that is alive but limping.
 """
 
 from __future__ import annotations
@@ -51,10 +60,12 @@ from repro.serve.batcher import (
 )
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
+    RETRY_AFTER_HEADER,
     points_from_wire,
     record_to_wire,
     runner_from_wire,
 )
+from repro.resilience.faults import FaultInjector, active_injector
 from repro.store import PersistentPool, StoreArg, resolve_store
 
 #: Default per-request deadline when a query does not carry one.  Generous
@@ -64,6 +75,18 @@ DEFAULT_DEADLINE_S = 300.0
 
 #: Maximum accepted request body (simple flood guard; grids are small).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default admission limit on concurrently-running sweep POSTs.  Each
+#: admitted request pins one handler thread until its deadline, so the
+#: limit bounds thread growth under a flood; well above anything the
+#: coalescing tests throw at a daemon.
+DEFAULT_MAX_INFLIGHT = 64
+
+#: Seconds suggested in ``Retry-After`` on admission rejection.
+RETRY_AFTER_S = 1
+
+#: Bound on how long ``close(drain=True)`` waits for admitted requests.
+DRAIN_TIMEOUT_S = 30.0
 
 
 def latency_percentiles(latencies_s: List[float]) -> Dict[str, float]:
@@ -105,8 +128,18 @@ class ServeDaemon:
             (in-process — what the tests use).
         window_s / max_attempts: Batcher knobs (see
             :class:`~repro.serve.batcher.CoalescingBatcher`).
+        point_retries: Alternative spelling of the batcher's retry
+            budget: the number of *re-runs* a failing point gets before
+            its error is served (``max_attempts = point_retries + 1``).
+            Mutually exclusive with ``max_attempts``.
         default_deadline_s: Applied to queries that carry no
             ``deadline_s``.
+        max_inflight: Admission limit on concurrently-running sweep
+            POSTs (``/v1/whatif`` / ``/v1/experiment`` / ``/v1/report``);
+            excess requests get ``503`` + ``Retry-After``.
+        fault_injector: Explicit :class:`~repro.resilience.FaultInjector`
+            threaded through the store, pool and batcher; defaults to the
+            process-wide plan (:func:`~repro.resilience.active_injector`).
 
     Use as a context manager, or :meth:`start` / :meth:`close` explicitly.
     :meth:`serve_forever` blocks (the CLI's ``repro serve``);
@@ -116,20 +149,43 @@ class ServeDaemon:
     def __init__(self, host: str = "127.0.0.1", port: int = 8421, *,
                  store: StoreArg = None, workers: int = 0,
                  window_s: float = DEFAULT_WINDOW_S,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
-                 default_deadline_s: float = DEFAULT_DEADLINE_S) -> None:
+                 max_attempts: Optional[int] = None,
+                 point_retries: Optional[int] = None,
+                 default_deadline_s: float = DEFAULT_DEADLINE_S,
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
-        self._store = resolve_store(store)
-        self._pool = PersistentPool(workers) if workers else None
+        if max_attempts is not None and point_retries is not None:
+            raise ConfigurationError(
+                "pass max_attempts or point_retries, not both")
+        if point_retries is not None:
+            if point_retries < 0:
+                raise ConfigurationError("point_retries must be >= 0")
+            max_attempts = point_retries + 1
+        if max_attempts is None:
+            max_attempts = DEFAULT_MAX_ATTEMPTS
+        if max_inflight < 1:
+            raise ConfigurationError("max_inflight must be >= 1")
+        self._injector = (fault_injector if fault_injector is not None
+                          else active_injector())
+        self._store = resolve_store(store, fault_injector=self._injector)
+        self._pool = (PersistentPool(workers, fault_injector=self._injector)
+                      if workers else None)
         self._batcher = CoalescingBatcher(
             store=self._store, pool=self._pool, workers=0,
-            window_s=window_s, max_attempts=max_attempts)
+            window_s=window_s, max_attempts=max_attempts,
+            fault_injector=self._injector)
         self._default_deadline_s = default_deadline_s
+        self._max_inflight = max_inflight
         self._started = time.monotonic()
         self._lock = threading.Lock()
         self._latencies_s: List[float] = []
+        self._inflight = 0
+        self._inflight_done = threading.Condition(self._lock)
+        self._draining = False
         self.requests = 0
+        self.rejected = 0
         daemon = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -194,8 +250,25 @@ class ServeDaemon:
         finally:
             self.close()
 
-    def close(self) -> None:
-        """Stop accepting, drain the batcher, shut the pool down."""
+    def close(self, drain: bool = True) -> None:
+        """Stop serving; by default let admitted requests finish first.
+
+        ``drain=True`` flips the daemon into draining mode (new sweep
+        POSTs get ``503 draining``), waits up to :data:`DRAIN_TIMEOUT_S`
+        for in-flight requests to complete, then shuts the HTTP server,
+        batcher and pool down.  ``drain=False`` skips the wait — in-flight
+        sweeps are abandoned mid-run (their results still land in the
+        store) and the pool is torn down hard.
+        """
+        with self._lock:
+            self._draining = True
+            if drain:
+                deadline = time.monotonic() + DRAIN_TIMEOUT_S
+                while self._inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._inflight_done.wait(remaining)
         self._http.shutdown()
         self._http.server_close()
         if self._serve_thread is not None:
@@ -203,7 +276,7 @@ class ServeDaemon:
             self._serve_thread = None
         self._batcher.close()
         if self._pool is not None:
-            self._pool.close()
+            self._pool.close(drain=drain)
 
     def __enter__(self) -> "ServeDaemon":
         return self.start()
@@ -215,8 +288,13 @@ class ServeDaemon:
 
     def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
         start = time.monotonic()
+        headers: Dict[str, str] = {}
         try:
-            status, payload = self._route(handler, method)
+            routed = self._route(handler, method)
+            if len(routed) == 3:
+                status, payload, headers = routed
+            else:
+                status, payload = routed
         except ConfigurationError as exc:
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # never let a handler thread die silently
@@ -232,24 +310,56 @@ class ServeDaemon:
             handler.send_response(status)
             handler.send_header("Content-Type", "application/json")
             handler.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                handler.send_header(name, value)
             handler.end_headers()
             handler.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):  # client went away
             pass
 
-    def _route(self, handler: BaseHTTPRequestHandler,
-               method: str) -> Tuple[int, Dict[str, Any]]:
+    def _admit(self) -> Optional[Tuple[int, Dict[str, Any], Dict[str, str]]]:
+        """Admission check for sweep-running POSTs.
+
+        Returns ``None`` when admitted (in-flight count bumped; caller
+        must release via :meth:`_release`), else the 503 response to
+        serve.  Draining beats over-capacity in the reason — a draining
+        daemon will not take the request no matter how idle it is.
+        """
+        with self._lock:
+            if self._draining:
+                reason = "draining"
+            elif self._inflight >= self._max_inflight:
+                reason = "over_capacity"
+            else:
+                self._inflight += 1
+                return None
+            self.rejected += 1
+        return (503,
+                {"error": f"service unavailable: {reason}", "reason": reason},
+                {RETRY_AFTER_HEADER: str(RETRY_AFTER_S)})
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            self._inflight_done.notify_all()
+
+    def _route(self, handler: BaseHTTPRequestHandler, method: str):
         path = handler.path.split("?", 1)[0].rstrip("/")
         if method == "GET" and path == "/v1/health":
             return 200, self._health_payload()
         if method == "GET" and path == "/v1/stats":
             return 200, self._stats_payload()
-        if method == "POST" and path == "/v1/whatif":
-            return self._handle_whatif(self._read_body(handler))
-        if method == "POST" and path == "/v1/experiment":
-            return self._handle_experiment(self._read_body(handler))
-        if method == "POST" and path == "/v1/report":
-            return self._handle_report(self._read_body(handler))
+        sweep_handlers = {"/v1/whatif": self._handle_whatif,
+                          "/v1/experiment": self._handle_experiment,
+                          "/v1/report": self._handle_report}
+        if method == "POST" and path in sweep_handlers:
+            rejection = self._admit()
+            if rejection is not None:
+                return rejection
+            try:
+                return sweep_handlers[path](self._read_body(handler))
+            finally:
+                self._release()
         return 404, {"error": f"no such endpoint: {method} {path}"}
 
     def _read_body(self, handler: BaseHTTPRequestHandler) -> Dict[str, Any]:
@@ -270,26 +380,69 @@ class ServeDaemon:
 
     # -- endpoints -----------------------------------------------------------
 
+    def _subsystems(self) -> Dict[str, Any]:
+        """Per-subsystem recovery / degradation counters (health + stats)."""
+        with self._lock:
+            admission = {"inflight": self._inflight,
+                         "max_inflight": self._max_inflight,
+                         "rejected": self.rejected,
+                         "draining": self._draining}
+        subsystems: Dict[str, Any] = {"admission": admission}
+        if self._store is not None:
+            subsystems["store"] = {
+                "mode": self._store.mode,
+                "degraded": self._store.degraded,
+                "degraded_reason": self._store.degraded_reason,
+                "retries": self._store.retries,
+                "skipped_puts": self._store.skipped_puts,
+            }
+        if self._pool is not None:
+            subsystems["pool"] = {
+                "workers": self._pool.workers,
+                "respawns": self._pool.respawns,
+                "reruns": self._pool.reruns,
+            }
+        subsystems["batcher"] = {
+            "point_retries": self._batcher.point_retries,
+            "inflight_points": self._batcher.inflight_points,
+        }
+        return subsystems
+
     def _health_payload(self) -> Dict[str, Any]:
-        return {
-            "status": "ok",
+        subsystems = self._subsystems()
+        degraded = (subsystems["admission"]["draining"]
+                    or subsystems.get("store", {}).get("degraded", False))
+        payload = {
+            "status": ("draining" if subsystems["admission"]["draining"]
+                       else "degraded" if degraded else "ok"),
             "uptime_s": round(time.monotonic() - self._started, 3),
             "store": (str(self._store.directory)
                       if self._store is not None else None),
             "store_backend": (self._store.backend.kind
                               if self._store is not None else None),
             "pool_workers": self._pool.workers if self._pool else 0,
+            "subsystems": subsystems,
         }
+        if self._injector is not None:
+            payload["faults"] = self._injector.snapshot()
+        return payload
 
     def _stats_payload(self) -> Dict[str, Any]:
         with self._lock:
             latencies = list(self._latencies_s)
             requests = self.requests
+            rejected = self.rejected
         payload: Dict[str, Any] = {
             "requests": requests,
+            "rejected": rejected,
             "latency": latency_percentiles(latencies),
             "batcher": self._batcher.stats(),
+            "admission": self._subsystems()["admission"],
         }
+        if self._pool is not None:
+            payload["pool"] = {"workers": self._pool.workers,
+                               "respawns": self._pool.respawns,
+                               "reruns": self._pool.reruns}
         if self._store is not None:
             payload["store"] = self._store.stats().to_dict()
         return payload

@@ -54,7 +54,6 @@ from __future__ import annotations
 import hashlib
 import itertools
 import math
-import multiprocessing
 import os
 import pickle
 import sys
@@ -1135,30 +1134,25 @@ class SweepRunner:
         Linux/macOS/Windows.  (For worker reuse across calls, pass a
         :class:`repro.store.PersistentPool` to :meth:`run` instead.)
 
+        The pool is a single-run :class:`repro.store.PersistentPool`, so
+        both executors share one supervised implementation: a worker that
+        dies mid-chunk is detected, the pool is rebuilt, and the lost
+        points are re-run byte-identically instead of hanging the run.
+
         ``on_record`` is invoked per record in completion order while the
         pool drains (the store write-back hook), including before a
         failure is eventually raised.
         """
+        # Imported here: repro.store.pool imports this module at top level.
+        from repro.store.pool import PersistentPool
+
         workers = min(workers, len(indexed_points))
-        if chunksize is None:
-            chunksize = max(1, math.ceil(len(indexed_points) / (workers * 4)))
-        context = multiprocessing.get_context("spawn")
-        ran: List[Tuple[int, SweepRecord]] = []
-        failures: Dict[int, tuple] = {}
-        with context.Pool(workers, initializer=_init_sweep_worker,
-                          initargs=(self.spec(),)) as pool:
-            results = pool.imap_unordered(_run_sweep_point_task,
-                                          list(indexed_points), chunksize)
-            for index, record, failure in results:
-                if failure is not None:
-                    failures[index] = failure
-                else:
-                    if on_record is not None:
-                        on_record(index, record)
-                    ran.append((index, record))
-        if failures:
-            _raise_lowest_failure(failures, indexed_points)
-        return ran
+        pool = PersistentPool(workers, chunksize)
+        try:
+            return pool.run_points(self.spec(), indexed_points,
+                                   on_record=on_record)
+        finally:
+            pool.close(drain=False)
 
     def _run_point(self, point: SweepPoint) -> SweepRecord:
         if point.is_hp_search:
@@ -1299,28 +1293,7 @@ def _execute_point_task(runner: SweepRunner, index: int, point: SweepPoint):
         return index, None, (exc, text)
 
 
-# -- worker-pool plumbing ----------------------------------------------------
-#
-# Spawned workers import this module fresh and keep one SweepRunner per
-# process (built by the pool initializer from the pickled runner
-# configuration), so datasets/samplers are materialised once per worker and
-# memoised across the points it simulates — exactly the sharing the serial
-# path does, with no cross-process state.
-
-_WORKER_RUNNER: Optional[SweepRunner] = None
-
-
-def _init_sweep_worker(spec: tuple) -> None:
-    """Pool initializer: rebuild the runner from its pickled configuration."""
-    global _WORKER_RUNNER
-    server_factory, scale, seed, queue_depth, fast_path = spec
-    _WORKER_RUNNER = SweepRunner(server_factory, scale=scale, seed=seed,
-                                 queue_depth=queue_depth, fast_path=fast_path)
-
-
-def _run_sweep_point_task(task: Tuple[int, SweepPoint]):
-    """Per-call-pool worker task: delegate to :func:`_execute_point_task`."""
-    index, point = task
-    if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
-        raise SimulationError("sweep worker used before initialisation")
-    return _execute_point_task(_WORKER_RUNNER, index, point)
+# Worker-pool plumbing lives in repro.store.pool: both the per-call path
+# (via a single-run PersistentPool) and the long-lived pool share one
+# supervised executor and one worker-side task protocol
+# (_execute_point_task above), so the executors cannot drift.

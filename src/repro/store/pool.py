@@ -23,6 +23,17 @@ per-point seeding discipline of :meth:`~repro.sim.sweep.SweepRunner.point_seed`:
 results are byte-identical to the serial executor, whichever worker
 simulates which point in whichever order.
 
+The pool is *supervised* (PR 9): it executes on
+:class:`repro.resilience.SupervisedExecutor`, so a worker that dies
+mid-chunk — OOM-killed, segfaulted, or murdered by a fault plan — is
+detected instead of hanging the run, the pool is rebuilt, and the lost
+chunks are re-run byte-identically (per-point seeding makes retry exact)
+under a bounded respawn budget.  Exhausting the budget raises the usual
+labelled :class:`~repro.exceptions.SweepPointError` naming the lowest lost
+point, so callers see one failure protocol whether a point raised or its
+worker was killed.  :meth:`close` drains in-flight runs by default
+(``close(drain=False)`` keeps the old terminate-now behaviour).
+
 Store interaction is parent-side only: workers never open a
 :class:`~repro.store.SweepStore` — the calling run resolves hits, ships
 only the misses to the pool, and writes results back through whichever
@@ -33,12 +44,20 @@ therefore backend-agnostic by construction.
 from __future__ import annotations
 
 import math
-import multiprocessing
 import os
 import threading
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    SweepPointError,
+    WorkerLostError,
+)
+from repro.resilience.faults import FaultInjector, active_injector
+from repro.resilience.supervise import (
+    DEFAULT_MAX_RESPAWNS,
+    SupervisedExecutor,
+)
 from repro.sim.sweep import (
     SweepPoint,
     SweepRecord,
@@ -89,14 +108,24 @@ def _run_pooled_point(task: Tuple[tuple, int, SweepPoint]):
     return index, record, failure, os.getpid()
 
 
+def _run_pooled_chunk(chunk: Sequence[Tuple[tuple, int, SweepPoint]]):
+    """Simulate one chunk of tasks; the supervised executor's unit of loss."""
+    return [_run_pooled_point(task) for task in chunk]
+
+
 def _probe_worker(_: int) -> Tuple[int, int, int, int]:
     """Report (pid, runners, datasets, samplers) cached in this worker."""
     return (os.getpid(), len(_WORKER_RUNNERS), len(_SHARED_DATASETS),
             len(_SHARED_SAMPLERS))
 
 
+def _probe_chunk(chunk: Sequence[int]):
+    """Probe once per task in the chunk (chunks are single tasks here)."""
+    return [_probe_worker(item) for item in chunk]
+
+
 class PersistentPool:
-    """A spawn pool of sweep workers reused across ``run()`` calls.
+    """A supervised spawn pool of sweep workers reused across ``run()`` calls.
 
     Args:
         workers: Worker processes (>= 1; counts above ``os.cpu_count()``
@@ -105,6 +134,14 @@ class PersistentPool:
             first run and kept until :meth:`close`.
         chunksize: Default points per pickled task (per run: about four
             chunks per worker when ``None``).
+        max_respawns: Pool rebuilds allowed per :meth:`run_points` call
+            when workers die, before the run escalates to
+            :class:`~repro.exceptions.SweepPointError`.
+        fault_injector: Optional
+            :class:`~repro.resilience.FaultInjector` whose worker-kill
+            schedule this pool delivers; defaults to the process-wide
+            injector (``REPRO_FAULT_PLAN``), which is ``None`` — no
+            injection, no overhead — in normal operation.
 
     Attributes:
         runs: Completed :meth:`run_points` calls.
@@ -118,20 +155,26 @@ class PersistentPool:
     context manager (``with PersistentPool(4) as pool: ...``).
 
     The pool is thread-safe: concurrent :meth:`run_points` calls from
-    different threads share the worker processes (``multiprocessing.Pool``
-    routes results by job, so interleaved runs cannot cross wires), which
-    is how the serve layer's concurrent batches share one pool without
+    different threads share the worker processes (the executor routes
+    results by future, so interleaved runs cannot cross wires), which is
+    how the serve layer's concurrent batches share one pool without
     head-of-line blocking.
     """
 
-    def __init__(self, workers: int, chunksize: Optional[int] = None) -> None:
+    def __init__(self, workers: int, chunksize: Optional[int] = None,
+                 max_respawns: int = DEFAULT_MAX_RESPAWNS,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         if workers < 1:
             raise ConfigurationError("a persistent pool needs >= 1 workers")
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError("chunksize must be at least 1")
         self._workers = clamp_workers(workers)
         self._chunksize = chunksize
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        if fault_injector is None:
+            fault_injector = active_injector()
+        self._supervisor = SupervisedExecutor(self._workers,
+                                              max_respawns=max_respawns,
+                                              injector=fault_injector)
         self._lock = threading.Lock()
         self.runs = 0
         self.pids_seen: Set[int] = set()
@@ -142,12 +185,19 @@ class PersistentPool:
         """Worker count (after the core-count clamp)."""
         return self._workers
 
-    def _ensure_pool(self) -> multiprocessing.pool.Pool:
-        with self._lock:
-            if self._pool is None:
-                context = multiprocessing.get_context("spawn")
-                self._pool = context.Pool(self._workers)
-            return self._pool
+    @property
+    def respawns(self) -> int:
+        """Worker-pool rebuilds after worker death, over the pool's life."""
+        return self._supervisor.respawns
+
+    @property
+    def reruns(self) -> int:
+        """Points resubmitted after their worker died, over the pool's life."""
+        return self._supervisor.reruns
+
+    def kill_one_worker(self) -> Optional[int]:
+        """SIGKILL one live worker (chaos tests); returns its pid or None."""
+        return self._supervisor.kill_one_worker()
 
     def run_points(self, spec: tuple,
                    indexed_points: List[Tuple[int, SweepPoint]],
@@ -163,22 +213,29 @@ class PersistentPool:
         :func:`repro.sim.sweep._raise_lowest_failure`: drain everything,
         then raise the lowest failing input index as a labelled
         :class:`~repro.exceptions.SweepPointError` chaining the original
-        worker exception.
+        worker exception.  Worker death joins the same protocol: lost
+        chunks are re-run on a rebuilt pool, and only a run that exhausts
+        its respawn budget raises — a :class:`SweepPointError` naming the
+        lowest point that was still lost.
         """
         if not indexed_points:
             return []
-        pool = self._ensure_pool()
         if chunksize is None:
             chunksize = self._chunksize
         if chunksize is None:
             chunksize = max(1, math.ceil(len(indexed_points)
                                          / (self._workers * 4)))
+        elif chunksize < 1:
+            raise ConfigurationError("chunksize must be at least 1")
         tasks = [(spec, index, point) for index, point in indexed_points]
+        chunks = [tasks[start:start + chunksize]
+                  for start in range(0, len(tasks), chunksize)]
         ran: List[Tuple[int, SweepRecord]] = []
         failures: Dict[int, tuple] = {}
         run_pids: Set[int] = set()
-        for index, record, failure, pid in pool.imap_unordered(
-                _run_pooled_point, tasks, chunksize):
+
+        def on_result(item) -> None:
+            index, record, failure, pid = item
             run_pids.add(pid)
             if failure is not None:
                 failures[index] = failure
@@ -186,10 +243,18 @@ class PersistentPool:
                 if on_record is not None:
                     on_record(index, record)
                 ran.append((index, record))
+
+        try:
+            self._supervisor.run_chunks(_run_pooled_chunk, chunks,
+                                        on_result=on_result)
+        except WorkerLostError as exc:
+            raise _lost_points_error(exc, indexed_points) from exc
+        finally:
+            with self._lock:
+                self.last_run_pids = run_pids
+                self.pids_seen |= run_pids
         with self._lock:
             self.runs += 1
-            self.last_run_pids = run_pids
-            self.pids_seen |= run_pids
         if failures:
             _raise_lowest_failure(failures, indexed_points)
         return ran
@@ -202,23 +267,53 @@ class PersistentPool:
         four; scheduling decides which workers answer, so treat the result
         as a sample — the reuse tests assert over the union, not coverage.
         """
-        pool = self._ensure_pool()
+        chunks = [[slot] for slot in range(self._workers * 4)]
         sizes: Dict[int, Tuple[int, int, int]] = {}
-        for pid, runners, datasets, samplers in pool.imap_unordered(
-                _probe_worker, range(self._workers * 4), 1):
+        for pid, runners, datasets, samplers in self._supervisor.run_chunks(
+                _probe_chunk, chunks):
             sizes[pid] = (runners, datasets, samplers)
         return sizes
 
-    def close(self) -> None:
-        """Shut the workers down (idempotent); the pool can be rebuilt."""
-        with self._lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+    def close(self, drain: bool = True) -> None:
+        """Shut the workers down (idempotent); the pool can be rebuilt.
+
+        ``drain=True`` (the default) waits for in-flight
+        :meth:`run_points` calls — including any worker-death recovery
+        they still owe — before stopping the workers; ``drain=False``
+        terminates immediately, abandoning whatever was running (the
+        pre-supervision behaviour, kept for emergencies and tests).
+        """
+        self._supervisor.close(drain=drain)
 
     def __enter__(self) -> "PersistentPool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        # Drain on a clean exit; when the body is already raising, don't
+        # block on in-flight work that may never finish.
+        self.close(drain=exc_type is None)
+
+
+def _lost_points_error(exc: WorkerLostError,
+                       indexed_points: List[Tuple[int, SweepPoint]]
+                       ) -> SweepPointError:
+    """Convert exhausted-respawn-budget loss into the sweep failure protocol.
+
+    Names the lowest *input-order* point that was still unfinished, like
+    :func:`~repro.sim.sweep._raise_lowest_failure` does for points that
+    raised, so callers handle both kinds of failure identically.
+    """
+    lost_indices = sorted(
+        task[1] for chunk in exc.pending_chunks for task in chunk)
+    points = dict(indexed_points)
+    label = ""
+    if lost_indices:
+        point = points.get(lost_indices[0])
+        if point is not None:
+            label = point.describe()
+    where = f" (first lost point: {label})" if label else ""
+    error = SweepPointError(
+        f"sweep workers kept dying: {len(lost_indices)} point(s) lost "
+        f"after {exc.respawns} pool respawn(s){where}")
+    error.point_label = label
+    return error

@@ -56,6 +56,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Union
 
 from repro.exceptions import ConfigurationError
+from repro.resilience.faults import FaultInjector, active_injector
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.sim.sweep import SweepPoint, SweepRecord, SweepRunner
 from repro.store.backend import (
     STORE_SCHEMA_VERSION,
@@ -160,8 +162,13 @@ class StoreTraceEvent:
         seq: Global order the event was recorded in (per store instance).
         op: ``"get"`` or ``"put"``.
         key: Content address the operation targeted.
-        outcome: ``"hit"`` / ``"miss"`` / ``"invalid"`` for gets;
-            ``"stored"`` / ``"redundant"`` for puts.
+        outcome: ``"hit"`` / ``"miss"`` / ``"invalid"`` /
+            ``"unavailable"`` (degraded, backend not consulted) for gets;
+            ``"stored"`` / ``"redundant"`` / ``"skipped"`` (degraded or
+            failed, nothing written) for puts.  Only ``stored`` and
+            ``hit`` carry bytes, and only they participate in
+            :func:`verify_store_trace` — degraded outcomes cannot create
+            consistency violations because they serve no bytes.
         digest: BLAKE2 digest of the stored bytes the operation read or
             wrote (``None`` when nothing was read/written — a plain miss
             or a skipped redundant put).
@@ -247,6 +254,15 @@ class StoreStats:
     redundant_puts: int = 0
     backend: str = "json"
     disk_bytes: int = 0
+    retries: int = 0
+    skipped_puts: int = 0
+    mode: str = "ok"
+    degraded_reason: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        """True once the store has stepped down the degradation ladder."""
+        return self.mode != "ok"
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (JSON dumps in the CI store leg and /v1/stats)."""
@@ -261,6 +277,11 @@ class StoreStats:
             "puts": self.puts,
             "invalid": self.invalid,
             "redundant_puts": self.redundant_puts,
+            "retries": self.retries,
+            "skipped_puts": self.skipped_puts,
+            "mode": self.mode,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
         }
 
 
@@ -276,6 +297,17 @@ class SweepStore:
             :attr:`trace_events` (with a digest of the bytes involved),
             for :func:`verify_store_trace`-style consistency checking.
             Off by default — tracing holds every event in memory.
+        retry_policy: :class:`~repro.resilience.RetryPolicy` applied to
+            every backend get/put: transient errors (SQLite lock/busy
+            contention, ``EAGAIN``-family ``OSError``, injected transient
+            faults) are retried with deterministic backoff and counted in
+            ``retries``.  Defaults to the standard policy;
+            :data:`~repro.resilience.NO_RETRY` disables retrying.
+        fault_injector: Optional
+            :class:`~repro.resilience.FaultInjector` whose store-fault
+            schedule fires inside the retry wrapper; defaults to the
+            process-wide injector (``REPRO_FAULT_PLAN``), which is
+            ``None`` — no injection, no overhead — in normal operation.
 
     Counters ``hits`` / ``misses`` / ``puts`` / ``invalid`` /
     ``redundant_puts`` accumulate per instance (lock-guarded, so one
@@ -284,21 +316,47 @@ class SweepStore:
     served (unparsable, truncated, mis-keyed, schema or point mismatch) —
     every invalid get is also a miss; ``redundant_puts`` counts writes
     skipped because a concurrent (or earlier) writer already stored the
-    key — write-once semantics.
+    key — write-once semantics; ``retries`` counts backend operations
+    that had to be re-attempted.
+
+    **Degradation ladder.**  The store is a cache in front of a pure
+    function, so backend failure can cost time but must never fail a
+    run.  An operation that exhausts its retries steps the store down a
+    one-way ladder for the rest of the session, recorded in ``mode``:
+    a put failure degrades ``ok`` → ``read-only`` (later puts are
+    skipped and counted in ``skipped_puts``; gets still serve hits); a
+    get failure degrades straight to ``no-store`` (gets return misses
+    without touching the backend, puts are skipped — pure
+    compute-through).  ``stats()`` surfaces ``mode``, a ``degraded``
+    flag and the failure that caused the (latest) step-down, which is
+    what ``/v1/health`` reports for the serve layer's store subsystem.
     """
 
+    #: Degradation ladder states, healthiest first.
+    MODES = ("ok", "read-only", "no-store")
+
     def __init__(self, location: Union[str, os.PathLike, StoreBackend],
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         if isinstance(location, StoreBackend):
             self._backend = location
         else:
             self._backend = open_backend(location)
         self._lock = threading.Lock()
+        self._retry_policy = (retry_policy if retry_policy is not None
+                              else RetryPolicy())
+        self._injector = (fault_injector if fault_injector is not None
+                          else active_injector())
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.invalid = 0
         self.redundant_puts = 0
+        self.retries = 0
+        self.skipped_puts = 0
+        self.mode = "ok"
+        self.degraded_reason = ""
         self.trace_events: Optional[List[StoreTraceEvent]] = ([] if trace
                                                               else None)
 
@@ -320,6 +378,35 @@ class SweepStore:
     def backend(self) -> StoreBackend:
         """The storage backend this store fronts."""
         return self._backend
+
+    @property
+    def degraded(self) -> bool:
+        """True once any backend operation has exhausted its retries."""
+        return self.mode != "ok"
+
+    def _count_retry(self, exc: BaseException) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def _call_backend(self, op: str, fn):
+        """Run one backend operation under fault injection and retry."""
+        injector = self._injector
+
+        def attempt():
+            if injector is not None:
+                injector.store_fault(op)
+            return fn()
+
+        return call_with_retry(attempt, policy=self._retry_policy,
+                               on_retry=self._count_retry)
+
+    def _degrade(self, mode: str, exc: BaseException) -> None:
+        """Step down the ladder (one-way; a later, worse failure can
+        still push ``read-only`` down to ``no-store``)."""
+        with self._lock:
+            if self.MODES.index(mode) > self.MODES.index(self.mode):
+                self.mode = mode
+                self.degraded_reason = f"{type(exc).__name__}: {exc}"
 
     @property
     def directory(self) -> pathlib.Path:
@@ -362,13 +449,26 @@ class SweepStore:
         counts as ``invalid``, is deleted (best-effort) and is reported
         as a miss; the caller re-simulates and :meth:`put` repairs the
         entry.
+
+        A backend *error* (as opposed to a bad entry) is retried under
+        the store's retry policy; exhausting it degrades the store to
+        ``no-store`` mode — this and every later get is a counted miss
+        served without touching the backend, and the caller computes
+        through.  Reads can cost time, never fail a run.
         """
+        if self.mode == "no-store":
+            self._note("get", key, "unavailable", None, misses=1)
+            return None
         try:
-            found = self._backend.get(key)
+            found = self._call_backend("get", lambda: self._backend.get(key))
         except EntryInvalid as exc:
             self._discard(key)
             self._note("get", key, "invalid", exc.payload,
                        invalid=1, misses=1)
+            return None
+        except Exception as exc:
+            self._degrade("no-store", exc)
+            self._note("get", key, "unavailable", None, misses=1)
             return None
         if found is None:
             self._note("get", key, "miss", None, misses=1)
@@ -398,11 +498,26 @@ class SweepStore:
         :meth:`~repro.sim.sweep.SweepRunner.run` via
         :func:`runner_spec_digest` — and the record's point label become
         index metadata on backends that keep an index.
+
+        A backend error is retried under the store's retry policy;
+        exhausting it degrades the store to ``read-only`` mode — this
+        and every later put is skipped (counted in ``skipped_puts``) and
+        the run keeps its in-memory result.  Writes can be lost to a
+        broken backend, but a run is never failed by one.
         """
+        if self.mode != "ok":
+            self._note("put", key, "skipped", None, skipped_puts=1)
+            return self._backend.entry_path(key)
         snapshot = record.snapshot(include_timeline=True)
-        stored = self._backend.put(key, snapshot,
-                                   label=record.point.label or "",
-                                   runner_digest=runner_digest)
+        try:
+            stored = self._call_backend(
+                "put", lambda: self._backend.put(
+                    key, snapshot, label=record.point.label or "",
+                    runner_digest=runner_digest))
+        except Exception as exc:
+            self._degrade("read-only", exc)
+            self._note("put", key, "skipped", None, skipped_puts=1)
+            return self._backend.entry_path(key)
         if stored is None:
             self._note("put", key, "redundant", None, redundant_puts=1)
         else:
@@ -412,8 +527,17 @@ class SweepStore:
     # -- management ----------------------------------------------------------
 
     def stats(self) -> StoreStats:
-        """Backend index totals combined with the session counters."""
-        entries, total_bytes, disk_bytes = self._backend.stats()
+        """Backend index totals combined with the session counters.
+
+        Keeps working on a degraded store: if the backend index itself
+        cannot be read, the on-disk totals are reported as zero and the
+        session counters (which live in this process) still tell the
+        story — health endpoints must not 500 because the disk did.
+        """
+        try:
+            entries, total_bytes, disk_bytes = self._backend.stats()
+        except Exception:
+            entries, total_bytes, disk_bytes = 0, 0, 0
         return StoreStats(
             directory=str(self._backend.path),
             entries=entries,
@@ -425,6 +549,10 @@ class SweepStore:
             redundant_puts=self.redundant_puts,
             backend=self._backend.kind,
             disk_bytes=disk_bytes,
+            retries=self.retries,
+            skipped_puts=self.skipped_puts,
+            mode=self.mode,
+            degraded_reason=self.degraded_reason,
         )
 
     def gc(self, max_entries: Optional[int] = None,
@@ -489,7 +617,9 @@ def migrate_store(source: "StoreArg", dest: "StoreArg") -> int:
 StoreArg = Union["SweepStore", StoreBackend, str, os.PathLike, None, bool]
 
 
-def resolve_store(store: StoreArg) -> Optional[SweepStore]:
+def resolve_store(store: StoreArg,
+                  fault_injector: Optional[FaultInjector] = None
+                  ) -> Optional[SweepStore]:
     """Normalise a user-facing ``store=`` argument to an open store.
 
     * :class:`SweepStore` — returned as-is;
@@ -498,16 +628,21 @@ def resolve_store(store: StoreArg) -> Optional[SweepStore]:
     * ``None`` — the :data:`STORE_ENV_VAR` environment default (no store
       when unset/empty);
     * ``False`` — explicitly no store, even when the variable is set.
+
+    ``fault_injector`` is forwarded to any :class:`SweepStore` this call
+    constructs (an already-open store keeps its own), which is how the
+    serve daemon threads one injector through a store it opens itself.
     """
     if isinstance(store, SweepStore):
         return store
     if store is None:
         env = os.environ.get(STORE_ENV_VAR, "").strip()
-        return SweepStore(env) if env else None
+        return (SweepStore(env, fault_injector=fault_injector) if env
+                else None)
     if store is False:
         return None
     if isinstance(store, (str, os.PathLike, StoreBackend)):
-        return SweepStore(store)
+        return SweepStore(store, fault_injector=fault_injector)
     raise ConfigurationError(
         f"store must be a SweepStore, a StoreBackend, a path, a sqlite:// "
         f"URI, None or False, not {type(store).__name__}")

@@ -65,8 +65,11 @@ class TestParallelExecution:
         def boom(method):  # pragma: no cover - would mean a pool was built
             raise AssertionError("pool spawned for a single-point grid")
 
-        import repro.sim.sweep as sweep_module
-        monkeypatch.setattr(sweep_module.multiprocessing, "get_context", boom)
+        # Every pool (per-call and persistent) is built by the supervised
+        # executor, so patching its context factory catches any spawn.
+        import repro.resilience.supervise as supervise_module
+        monkeypatch.setattr(supervise_module.multiprocessing,
+                            "get_context", boom)
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         (record,) = runner.run([SweepPoint(model=RESNET18, loader="coordl",
                                            dataset="openimages",
@@ -88,8 +91,9 @@ class TestParallelExecution:
         def boom(method):  # pragma: no cover
             raise AssertionError("pool spawned despite workers=0")
 
-        import repro.sim.sweep as sweep_module
-        monkeypatch.setattr(sweep_module.multiprocessing, "get_context", boom)
+        import repro.resilience.supervise as supervise_module
+        monkeypatch.setattr(supervise_module.multiprocessing,
+                            "get_context", boom)
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         assert len(runner.run(_mixed_grid()[:2], workers=0)) == 2
 
@@ -212,8 +216,9 @@ class TestWorkerClamp:
         def boom(method):  # pragma: no cover - would mean a pool was built
             raise AssertionError("pool spawned for workers<=1")
 
-        import repro.sim.sweep as sweep_module
-        monkeypatch.setattr(sweep_module.multiprocessing, "get_context", boom)
+        import repro.resilience.supervise as supervise_module
+        monkeypatch.setattr(supervise_module.multiprocessing,
+                            "get_context", boom)
         runner = SweepRunner(config_ssd_v100, scale=SCALE, seed=0)
         points = _mixed_grid()[:2]
         assert len(runner.run(points, workers=1)) == 2
