@@ -6,7 +6,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-workers bench bench-json bench-smoke bench-parallel \
         bench-store docs-check store-check store-check-sqlite serve-check \
-        failure-check chaos-check check
+        failure-check chaos-check dist-check check
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -96,6 +96,18 @@ chaos-check:
 	$(PYTHON) -m pytest -x -q tests/test_resilience.py
 	REPRO_FAULT_PLAN=tools/fault_plans/ci.json $(PYTHON) tools/store_check.py
 	$(PYTHON) tools/chaos_check.py
+
+## Distributed-fabric gate: the protocol/executor/agent test suite, then
+## every committed golden grid replayed through a DistExecutor over real
+## `python -m repro dist worker` subprocesses at hosts=1/2 x local
+## workers=0/1/2 — byte-identical at every topology — and once more per
+## grid with one agent SIGKILLed mid-sweep under a host_kills fault plan
+## (chunks reassigned; zero lost or duplicated records per the store
+## trace checker).  Topology timings and steal/reassignment counters land
+## in BENCH_dist.json (repo root).
+dist-check:
+	$(PYTHON) -m pytest -x -q tests/test_dist.py
+	$(PYTHON) tools/dist_check.py
 
 ## Everything the CI gate's main leg runs (the parallel-workers, store and
 ## serve legs add `make test-workers bench-smoke bench-parallel` under

@@ -19,11 +19,17 @@ any Python:
 * ``python -m repro query --model resnet18 --cache-fraction 0.35`` — ask a
   running daemon a what-if question (also ``--health``, ``--stats``,
   ``--experiment fig3``).
+* ``python -m repro dist worker --listen 0.0.0.0:8501`` — run one sweep
+  worker agent of the multi-host fabric (``repro.dist``).
 
 ``run-experiment`` and ``report`` accept ``--store DIR`` (memoise every
 sweep point on disk; a warm re-run reduces to store reads) and
 ``--no-store``; with neither flag the ``REPRO_SWEEP_STORE`` environment
-variable supplies the default store directory.
+variable supplies the default store directory.  The sweep-running commands
+(``run-experiment``/``report``/``serve``) also accept ``--hosts a:p,b:p``
+(default: ``REPRO_SWEEP_HOSTS``) to run misses on remote worker agents
+through a :class:`repro.dist.DistExecutor` instead of local processes —
+results are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -70,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(default: REPRO_SWEEP_WORKERS or serial; results "
                           "are identical for every value)")
     _add_store_flags(run)
+    _add_hosts_flag(run)
 
     profile = sub.add_parser("profile", help="DS-Analyzer profile for a model")
     profile.add_argument("model", help="model name, e.g. resnet18")
@@ -88,11 +95,16 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--workers", type=int, default=None,
                         help="worker processes for the sweep-backed experiments")
     _add_store_flags(report)
+    _add_hosts_flag(report)
 
     store = sub.add_parser(
         "store", help="manage the content-addressed sweep result store")
     store_sub = store.add_subparsers(dest="store_command", required=True)
     stats = store_sub.add_parser("stats", help="entry count and byte totals")
+    stats.add_argument("--by-runner", action="store_true",
+                       help="group entries/bytes by runner spec digest "
+                            "(SQLite backend: answered by the runner_digest "
+                            "index without unpacking payloads)")
     gc = store_sub.add_parser("gc", help="prune oldest entries to a budget")
     gc.add_argument("--max-entries", type=int, default=None,
                     help="keep at most this many entries")
@@ -138,6 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="re-runs a failing point gets before its error "
                             "is served (default 1)")
     _add_store_flags(serve)
+    _add_hosts_flag(serve)
 
     query = sub.add_parser(
         "query", help="query a running serve daemon (what-if / experiment)")
@@ -194,6 +207,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="re-sends after a refused/reset connection or a "
                             "503 rejection, with capped exponential backoff "
                             "(default 3; 0 disables)")
+
+    dist = sub.add_parser(
+        "dist", help="multi-host sweep fabric (repro.dist) agents")
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+    worker = dist_sub.add_parser(
+        "worker", help="run one sweep worker agent: accept driver "
+                       "connections, execute point chunks, stream records")
+    worker.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="bind address; port 0 picks a free one "
+                             "(default 127.0.0.1:0; the bound address is "
+                             "printed on stdout)")
+    worker.add_argument("--workers", type=int, default=0,
+                        help="local fan-out per chunk: 0/1 executes serially "
+                             "on the connection thread, N>=2 through an "
+                             "agent-owned process pool (default 0)")
     return parser
 
 
@@ -217,6 +245,27 @@ def _store_arg(args: argparse.Namespace) -> StoreArg:
     return args.store_dir  # None falls through to the env-var default
 
 
+def _add_hosts_flag(parser: argparse.ArgumentParser) -> None:
+    """``--hosts a:p,b:p`` on the sweep-running commands."""
+    from repro.dist.protocol import HOSTS_ENV_VAR
+
+    parser.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
+                        help="run sweep misses on these remote worker agents "
+                             "(repro dist worker) instead of local processes; "
+                             "results are byte-identical either way "
+                             f"(default: ${HOSTS_ENV_VAR} when set)")
+
+
+def _dist_executor(args: argparse.Namespace):
+    """Build a :class:`DistExecutor` from ``--hosts``/env, or ``None``."""
+    from repro.dist import DistExecutor, resolve_hosts
+
+    hosts = resolve_hosts(getattr(args, "hosts", None))
+    if hosts is None:
+        return None
+    return DistExecutor(hosts)
+
+
 def _cmd_list_experiments() -> int:
     for experiment_id in registry.experiment_ids():
         print(experiment_id)
@@ -224,7 +273,8 @@ def _cmd_list_experiments() -> int:
 
 
 def _cmd_run_experiment(experiment_id: str, scale: float,
-                        workers: Optional[int], store: StoreArg) -> int:
+                        workers: Optional[int], store: StoreArg,
+                        executor=None) -> int:
     kwargs = {} if experiment_id == "fig8" else {"scale": scale}
     if workers is not None:
         if not registry.accepts_kwarg(experiment_id, "workers"):
@@ -238,7 +288,17 @@ def _cmd_run_experiment(experiment_id: str, scale: float,
                   "ignoring --store/--no-store", file=sys.stderr)
         else:
             kwargs["store"] = store
-    result = registry.run_experiment(experiment_id, **kwargs)
+    if executor is not None:
+        if not registry.accepts_kwarg(experiment_id, "pool"):
+            print(f"{experiment_id} has no sweep grid to distribute; "
+                  "ignoring --hosts", file=sys.stderr)
+        else:
+            kwargs["pool"] = executor
+    try:
+        result = registry.run_experiment(experiment_id, **kwargs)
+    finally:
+        if executor is not None:
+            executor.close()
     print(result.format_table())
     return 0
 
@@ -257,8 +317,12 @@ def _cmd_profile(model_name: str, dataset_name: str, server_name: str,
 
 
 def _cmd_report(output: str, scale: float, workers: Optional[int],
-                store: StoreArg) -> int:
-    generate(output, scale, workers=workers, store=store)
+                store: StoreArg, executor=None) -> int:
+    try:
+        generate(output, scale, workers=workers, store=store, pool=executor)
+    finally:
+        if executor is not None:
+            executor.close()
     print(f"wrote {output}")
     return 0
 
@@ -281,6 +345,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"store {stats.directory} [{stats.backend}]: "
               f"{stats.entries} entries, {stats.total_bytes:,} bytes "
               f"({stats.disk_bytes:,} on disk)")
+        if getattr(args, "by_runner", False):
+            for row in store.stats_by_runner():
+                print(f"  runner {row.runner_digest or '(unknown)'}: "
+                      f"{row.entries} entries, {row.payload_bytes:,} bytes")
     elif args.store_command == "gc":
         removed = store.gc(max_entries=args.max_entries,
                            max_bytes=args.max_bytes)
@@ -306,22 +374,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.batcher import DEFAULT_WINDOW_S
     from repro.serve.server import DEFAULT_DEADLINE_S
 
+    from repro.dist.protocol import resolve_hosts
+
     extra = {}
     if args.max_inflight is not None:
         extra["max_inflight"] = args.max_inflight
     if args.point_retries is not None:
         extra["point_retries"] = args.point_retries
+    hosts = resolve_hosts(args.hosts)
+    if hosts is not None:
+        extra["hosts"] = [f"{host}:{port}" for host, port in hosts]
     daemon = ServeDaemon(
         args.host, args.port, store=_store_arg(args), workers=args.workers,
         window_s=DEFAULT_WINDOW_S if args.window is None else args.window,
         default_deadline_s=(DEFAULT_DEADLINE_S if args.deadline is None
                             else args.deadline),
         **extra)
+    backend = ("off" if daemon.pool is None
+               else f"{daemon.pool.workers} (hosts: "
+                    f"{','.join(h for h in getattr(daemon.pool, 'hosts', []))})"
+               if hosts is not None else str(daemon.pool.workers))
     print(f"serving on {daemon.url} "
           f"(store: {daemon.store.directory if daemon.store else 'off'}, "
-          f"pool workers: {daemon.pool.workers if daemon.pool else 0})",
+          f"pool workers: {backend})",
           flush=True)
     daemon.serve_forever()
+    return 0
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.dist import LISTENING_PREFIX, DistWorker, parse_hosts
+
+    # argparse enforces dist_command == "worker" (the only subcommand)
+    ((host, port),) = parse_hosts(args.listen)
+    agent = DistWorker(host, port, workers=max(0, args.workers))
+    print(f"{LISTENING_PREFIX}{agent.endpoint}", flush=True)
+    agent.serve_forever()
     return 0
 
 
@@ -408,19 +496,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list_experiments()
     if args.command == "run-experiment":
         return _cmd_run_experiment(args.experiment_id, args.scale, args.workers,
-                                   _store_arg(args))
+                                   _store_arg(args), _dist_executor(args))
     if args.command == "profile":
         return _cmd_profile(args.model, args.dataset, args.server,
                             args.cache, args.scale, args.gpu_prep)
     if args.command == "report":
         return _cmd_report(args.output, args.scale, args.workers,
-                           _store_arg(args))
+                           _store_arg(args), _dist_executor(args))
     if args.command == "store":
         return _cmd_store(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "dist":
+        return _cmd_dist(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -95,6 +95,18 @@ class WorkerLostError(ResilienceError):
         self.respawns = respawns
 
 
+class HostLostError(ResilienceError):
+    """No worker host of a distributed sweep fabric could be reached.
+
+    Raised by :meth:`repro.dist.DistExecutor.run_points` when every
+    configured agent endpoint refuses the connection (or fails the
+    protocol handshake) at dispatch time.  Hosts that die *mid-run* do
+    not raise this: their chunks are reassigned under the executor's
+    budget, and exhausting that budget raises the shared sweep failure,
+    a labelled :class:`~repro.exceptions.SweepPointError`.
+    """
+
+
 class TransientFaultError(ResilienceError):
     """An injected fault that a retry policy is expected to absorb."""
 

@@ -127,18 +127,32 @@ class FaultPlan:
             call counters that span the injector's lifetime.
         serve_stalls: :class:`ServeStall` entries, matched against the
             batcher's dispatched-batch counter.
+        host_kills: Delivered-record counts at which the *driver* of a
+            distributed sweep (:class:`repro.dist.DistExecutor`) delivers
+            one ``host-death`` fault through its ``kill_hook`` — SIGKILLing
+            a worker agent process mid-chunk.  Like ``worker_kills`` the
+            schedule restarts per ``run_points`` call and each entry fires
+            at most once per run; without a hook (no fleet to kill) the
+            entries are inert, so plans behave identically when no fabric
+            is in play.
     """
 
     seed: int = 0
     worker_kills: Tuple[int, ...] = ()
     store_faults: Tuple[StoreFault, ...] = ()
     serve_stalls: Tuple[ServeStall, ...] = ()
+    host_kills: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         for count in self.worker_kills:
             if count < 1:
                 raise ConfigurationError(
                     "worker kill thresholds are 1-based received-result "
+                    "counts and must be >= 1")
+        for count in self.host_kills:
+            if count < 1:
+                raise ConfigurationError(
+                    "host kill thresholds are 1-based delivered-record "
                     "counts and must be >= 1")
 
     def to_dict(self) -> dict:
@@ -153,6 +167,7 @@ class FaultPlan:
             "serve_stalls": [
                 {"at": s.at, "stall_s": s.stall_s} for s in self.serve_stalls
             ],
+            "host_kills": list(self.host_kills),
         }
 
     @classmethod
@@ -161,7 +176,7 @@ class FaultPlan:
         if not isinstance(payload, dict):
             raise ConfigurationError("a fault plan must be a JSON object")
         unknown = set(payload) - {"seed", "worker_kills", "store_faults",
-                                  "serve_stalls"}
+                                  "serve_stalls", "host_kills"}
         if unknown:
             raise ConfigurationError(
                 f"unknown fault plan fields: {sorted(unknown)}")
@@ -173,6 +188,7 @@ class FaultPlan:
                                for f in payload.get("store_faults", ())),
             serve_stalls=tuple(ServeStall(**s)
                                for s in payload.get("serve_stalls", ())),
+            host_kills=tuple(int(c) for c in payload.get("host_kills", ())),
         )
 
     @classmethod
@@ -231,6 +247,7 @@ class FaultCounters:
     permanent_store_faults: int = 0
     worker_kills: int = 0
     batch_stalls: int = 0
+    host_kills: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -239,6 +256,7 @@ class FaultCounters:
             "permanent_store_faults": self.permanent_store_faults,
             "worker_kills": self.worker_kills,
             "batch_stalls": self.batch_stalls,
+            "host_kills": self.host_kills,
         }
 
 
@@ -293,6 +311,15 @@ class FaultInjector:
         """Record one delivered worker kill."""
         with self._lock:
             self.counters.worker_kills += 1
+
+    def host_kill_schedule(self) -> KillSchedule:
+        """A fresh per-run ``host-death`` schedule (``plan.host_kills``)."""
+        return KillSchedule(self.plan.host_kills)
+
+    def note_host_kill(self) -> None:
+        """Record one delivered host kill (a SIGKILLed worker agent)."""
+        with self._lock:
+            self.counters.host_kills += 1
 
     def batch_stall(self) -> float:
         """Seconds to stall the current serve batch (0.0 when none)."""

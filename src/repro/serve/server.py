@@ -48,7 +48,7 @@ import tempfile
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.experiments import registry
@@ -126,6 +126,12 @@ class ServeDaemon:
         workers: Size of the shared :class:`~repro.store.PersistentPool`
             simulations fan out over; ``0`` simulates on batch threads
             (in-process — what the tests use).
+        hosts: Remote worker agent endpoints (``host:port`` strings or
+            ``(host, port)`` pairs).  When given, the daemon's executor is
+            a :class:`~repro.dist.DistExecutor` over those agents instead
+            of a local pool — results are byte-identical either way.
+            Mutually exclusive with ``workers`` (pick the fabric or the
+            local pool, not both).
         window_s / max_attempts: Batcher knobs (see
             :class:`~repro.serve.batcher.CoalescingBatcher`).
         point_retries: Alternative spelling of the batcher's retry
@@ -148,6 +154,7 @@ class ServeDaemon:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8421, *,
                  store: StoreArg = None, workers: int = 0,
+                 hosts: Optional[Sequence[Any]] = None,
                  window_s: float = DEFAULT_WINDOW_S,
                  max_attempts: Optional[int] = None,
                  point_retries: Optional[int] = None,
@@ -156,6 +163,10 @@ class ServeDaemon:
                  fault_injector: Optional[FaultInjector] = None) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
+        if hosts is not None and workers:
+            raise ConfigurationError(
+                "pass hosts (remote worker agents) or workers (a local "
+                "pool), not both")
         if max_attempts is not None and point_retries is not None:
             raise ConfigurationError(
                 "pass max_attempts or point_retries, not both")
@@ -170,8 +181,14 @@ class ServeDaemon:
         self._injector = (fault_injector if fault_injector is not None
                           else active_injector())
         self._store = resolve_store(store, fault_injector=self._injector)
-        self._pool = (PersistentPool(workers, fault_injector=self._injector)
-                      if workers else None)
+        if hosts is not None:
+            from repro.dist import DistExecutor  # local: import cycle
+
+            self._pool = DistExecutor(hosts, fault_injector=self._injector)
+        else:
+            self._pool = (PersistentPool(workers,
+                                         fault_injector=self._injector)
+                          if workers else None)
         self._batcher = CoalescingBatcher(
             store=self._store, pool=self._pool, workers=0,
             window_s=window_s, max_attempts=max_attempts,

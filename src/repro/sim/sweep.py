@@ -1007,9 +1007,13 @@ class SweepRunner:
                 disables the store even when the variable is set.  Results
                 are byte-identical with and without a store.
             pool: A :class:`repro.store.PersistentPool` whose workers
-                outlive this call.  Takes precedence over ``workers`` for
-                the points that actually need simulating; store hits never
-                touch the pool.
+                outlive this call, or any object with the same
+                ``run_points(spec, indexed_points, chunksize,
+                on_record=...)`` surface — :class:`repro.dist.DistExecutor`
+                satisfies it to fan the grid out over remote worker
+                agents.  Takes precedence over ``workers`` for the points
+                that actually need simulating; store hits never touch the
+                pool (or the network).
             on_record: Streaming hook called as ``on_record(index, record)``
                 once per input point, as its record becomes available —
                 immediately for store hits, in completion order for

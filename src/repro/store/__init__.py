@@ -33,11 +33,16 @@ subcommands (``stats`` / ``gc`` / ``invalidate`` / ``migrate``).
 """
 
 from repro.store.backend import (
+    STORE_CODEC_ENV_VAR,
+    STORE_CODECS,
     EntryInvalid,
     JsonDirBackend,
+    RunnerStats,
     SqliteBackend,
     StoreBackend,
+    default_codec,
     open_backend,
+    resolve_codec,
 )
 from repro.store.pool import PersistentPool
 from repro.store.store import (
@@ -47,6 +52,7 @@ from repro.store.store import (
     StoreStats,
     StoreTraceEvent,
     SweepStore,
+    merge_store_traces,
     migrate_store,
     resolve_store,
     runner_spec_digest,
@@ -61,17 +67,23 @@ __all__ = [
     "JsonDirBackend",
     "SqliteBackend",
     "EntryInvalid",
+    "RunnerStats",
     "StoreStats",
     "StoreArg",
     "StoreTraceEvent",
     "PersistentPool",
+    "default_codec",
+    "merge_store_traces",
     "migrate_store",
     "open_backend",
+    "resolve_codec",
     "resolve_store",
     "runner_spec_digest",
     "source_digest",
     "store_key",
     "verify_store_trace",
+    "STORE_CODEC_ENV_VAR",
+    "STORE_CODECS",
     "STORE_ENV_VAR",
     "STORE_SCHEMA_VERSION",
 ]

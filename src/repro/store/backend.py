@@ -13,13 +13,21 @@ owns the bytes.  Two backends implement the contract:
 * :class:`SqliteBackend` — one WAL-mode SQLite database holding an
   *index* (key, point label, runner-spec digest, schema version,
   created-at timestamp, payload size, codec) next to *packed payloads*
-  (the record snapshot as canonical JSON, zstd-compressed when the
-  optional ``zstandard`` module is importable, zlib otherwise).  The
-  index/payload split is the classic storage-engine move: ``stats`` /
-  ``gc`` / ``invalidate`` become SQL queries instead of directory scans,
-  the write-once check is a single ``INSERT .. ON CONFLICT DO NOTHING``,
-  and a hit never parses the JSON wrapper — schema and key come from the
-  index, only the record snapshot itself is decoded.
+  (the record snapshot as canonical JSON, zstd-compressed when a module
+  provides it — stdlib ``compression.zstd`` on Python 3.14+, else the
+  ``zstandard`` package — zlib otherwise; ``REPRO_STORE_CODEC`` forces a
+  choice, validated loudly at construction).  Reads go by each entry's
+  recorded codec column, so old zlib entries keep serving whatever new
+  puts use, and ``repro store migrate`` round-trips record bytes
+  identically between codecs.  The index/payload split is the classic
+  storage-engine move: ``stats`` / ``gc`` / ``invalidate`` become SQL
+  queries instead of directory scans (``gc`` also checkpoints the WAL
+  and ``VACUUM``\\ s so the file really shrinks), the write-once check is
+  a single ``INSERT .. ON CONFLICT DO NOTHING``, and a hit never parses
+  the JSON wrapper — schema and key come from the index, only the record
+  snapshot itself is decoded.  The ``runner_digest`` index answers
+  by-runner analytics (:meth:`~StoreBackend.stats_by_runner`) without
+  touching payloads.
 
 Pragma discipline (per the SQLite idioms in SNIPPETS.md):
 ``journal_mode=WAL`` (readers never block behind writers — the serve
@@ -50,9 +58,12 @@ import sqlite3
 import threading
 import zlib
 from datetime import datetime, timezone
-from typing import Any, ClassVar, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, ClassVar, Dict, List, NamedTuple, Optional, \
+    Tuple, Union
 
-try:  # optional: packed payloads use zstd when the module is available
+from repro.exceptions import ConfigurationError
+
+try:  # optional: packed payloads use zstd when a module provides it
     import zstandard  # type: ignore[import-not-found]
 except ImportError:  # pragma: no cover - depends on the environment
     zstandard = None
@@ -62,6 +73,75 @@ except ImportError:  # pragma: no cover - depends on the environment
 #: (never corrupts) all previous entries — a stale-schema entry can
 #: simply never be looked up again.
 STORE_SCHEMA_VERSION = 1
+
+#: Environment variable forcing the SQLite backend's payload codec
+#: (``zlib`` or ``zstd``).  Unset means "the best available": zstd when a
+#: module provides it, zlib otherwise.  Codecs only affect how *new*
+#: entries are packed — reads always go by each entry's recorded codec
+#: column, so stores mixing both codecs (e.g. after an interpreter
+#: upgrade) keep serving every entry.
+STORE_CODEC_ENV_VAR = "REPRO_STORE_CODEC"
+
+#: Payload codecs the SQLite backend can write.
+STORE_CODECS = ("zlib", "zstd")
+
+
+def _zstd_functions() -> Optional[Tuple[Callable[[bytes], bytes],
+                                        Callable[[bytes], bytes]]]:
+    """``(compress, decompress)`` for zstd, or ``None`` when unavailable.
+
+    Prefers the stdlib module (``compression.zstd``, Python 3.14+), falls
+    back to the third-party ``zstandard`` package; both produce standard
+    zstd frames, so entries written through either read back through the
+    other.
+    """
+    try:  # pragma: no cover - stdlib module needs Python >= 3.14
+        from compression import zstd  # type: ignore[import-not-found]
+
+        return zstd.compress, zstd.decompress
+    except ImportError:
+        pass
+    if zstandard is not None:
+        return (lambda data: zstandard.ZstdCompressor().compress(data),
+                lambda blob: zstandard.ZstdDecompressor().decompress(blob))
+    return None
+
+
+def default_codec() -> str:
+    """The codec new SQLite entries get when none is forced."""
+    return "zstd" if _zstd_functions() is not None else "zlib"
+
+
+def resolve_codec(codec: Optional[str] = None) -> str:
+    """Validate a codec choice (explicit arg, else the environment).
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for unknown
+    codecs and for ``zstd`` when no module provides it — loudly at
+    *backend construction* time, never from inside ``put`` where the
+    store's degradation ladder would silently absorb it.
+    """
+    if codec is None:
+        codec = os.environ.get(STORE_CODEC_ENV_VAR, "").strip() or None
+    if codec is None:
+        return default_codec()
+    if codec not in STORE_CODECS:
+        raise ConfigurationError(
+            f"unknown store codec {codec!r}: pick one of {STORE_CODECS} "
+            f"(${STORE_CODEC_ENV_VAR} or the codec= argument)")
+    if codec == "zstd" and _zstd_functions() is None:
+        raise ConfigurationError(
+            "store codec 'zstd' requested but no module provides it "
+            "(needs the stdlib compression.zstd, Python 3.14+, or the "
+            "zstandard package); unset the override to fall back to zlib")
+    return codec
+
+
+class RunnerStats(NamedTuple):
+    """One ``stats --by-runner`` row: a runner spec's share of the store."""
+
+    runner_digest: str
+    entries: int
+    payload_bytes: int
 
 
 class EntryInvalid(Exception):
@@ -149,6 +229,16 @@ class StoreBackend(abc.ABC):
     @abc.abstractmethod
     def invalidate(self, prefix: str) -> int:
         """Remove every key starting with ``prefix``; return removals."""
+
+    def stats_by_runner(self) -> List[RunnerStats]:
+        """Entries/bytes grouped by runner-spec digest, biggest first.
+
+        Only backends that keep a runner index can answer this; the base
+        implementation refuses loudly instead of scanning payloads.
+        """
+        raise ConfigurationError(
+            f"the {self.kind} backend keeps no runner index; use a "
+            f"sqlite:// store for by-runner analytics")
 
     def close(self) -> None:
         """Release backend resources (connections); idempotent."""
@@ -296,22 +386,27 @@ class JsonDirBackend(StoreBackend):
         return removed
 
 
-def _pack(data: bytes) -> Tuple[str, bytes]:
-    """Compress one payload; returns (codec name, packed bytes)."""
-    if zstandard is not None:
-        return "zstd", zstandard.ZstdCompressor().compress(data)
-    return "zlib", zlib.compress(data, 6)
+def _pack(data: bytes, codec: str) -> bytes:
+    """Compress one payload with a codec :func:`resolve_codec` validated."""
+    if codec == "zstd":
+        functions = _zstd_functions()
+        if functions is None:  # validated at construction; belt-and-braces
+            raise ValueError("zstd codec configured but unavailable")
+        return functions[0](data)
+    return zlib.compress(data, 6)
 
 
 def _unpack(codec: str, blob: bytes) -> bytes:
-    """Invert :func:`_pack` by recorded codec name."""
+    """Invert :func:`_pack` by each entry's *recorded* codec name —
+    old zlib entries stay readable whatever codec new puts use."""
     if codec == "zlib":
         return zlib.decompress(blob)
     if codec == "zstd":
-        if zstandard is None:
-            raise ValueError("entry packed with zstd but the zstandard "
-                             "module is not available")
-        return zstandard.ZstdDecompressor().decompress(blob)
+        functions = _zstd_functions()
+        if functions is None:
+            raise ValueError("entry packed with zstd but no module "
+                             "provides it (compression.zstd / zstandard)")
+        return functions[1](blob)
     raise ValueError(f"unknown payload codec {codec!r}")
 
 
@@ -345,15 +440,25 @@ class SqliteBackend(StoreBackend):
     )
     """
 
-    def __init__(self, database: Union[str, os.PathLike]) -> None:
+    def __init__(self, database: Union[str, os.PathLike],
+                 codec: Optional[str] = None) -> None:
         self._db_path = pathlib.Path(database)
         if self._db_path.parent != pathlib.Path(""):
             self._db_path.parent.mkdir(parents=True, exist_ok=True)
+        # Codec misconfiguration must surface here, not inside put() —
+        # the frontend's degradation ladder treats put exceptions as
+        # storage trouble and would silently flip the store read-only.
+        self._codec = resolve_codec(codec)
         self._local = threading.local()
         self._lock = threading.Lock()
         self._connections: List[sqlite3.Connection] = []
         self._generation = 0
         self._connect()  # create the schema eagerly, fail fast on bad paths
+
+    @property
+    def codec(self) -> str:
+        """Codec new entries are packed with (reads follow each entry)."""
+        return self._codec
 
     @property
     def path(self) -> pathlib.Path:
@@ -375,6 +480,10 @@ class SqliteBackend(StoreBackend):
         con.execute("PRAGMA synchronous=NORMAL")
         con.execute("PRAGMA busy_timeout=30000")
         con.execute(self._SCHEMA)
+        # Backs the by-runner analytics: GROUP BY runner_digest is a pure
+        # index scan, no payload is ever unpacked to answer it.
+        con.execute("CREATE INDEX IF NOT EXISTS entries_runner_digest"
+                    " ON entries(runner_digest)")
         with self._lock:
             generation = self._generation
             self._connections.append(con)
@@ -403,7 +512,8 @@ class SqliteBackend(StoreBackend):
             runner_digest: str = "") -> Optional[bytes]:
         data = json.dumps(snapshot, sort_keys=True,
                           separators=(",", ":")).encode("utf-8")
-        codec, blob = _pack(data)
+        codec = self._codec
+        blob = _pack(data, codec)
         created = datetime.now(timezone.utc).isoformat(timespec="seconds")
         cursor = self._connect().execute(
             "INSERT INTO entries (key, label, runner_digest, schema_version,"
@@ -457,6 +567,17 @@ class SqliteBackend(StoreBackend):
             " WHERE (:max_entries IS NULL OR newest_rank <= :max_entries)"
             "   AND (:max_bytes IS NULL OR newest_bytes <= :max_bytes))",
             {"max_entries": max_entries, "max_bytes": max_bytes})
+        if cursor.rowcount:
+            # DELETE alone only marks pages free; after a large prune the
+            # database file and its WAL keep their size.  VACUUM rebuilds
+            # a compact image — but in WAL mode that rebuild itself
+            # commits through the WAL, so the checkpoint must come after:
+            # fold the vacuumed image into the main file and truncate the
+            # WAL to zero.  Only then does the on-disk footprint actually
+            # drop to the surviving entries.
+            con = self._connect()
+            con.execute("VACUUM")
+            con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         return cursor.rowcount
 
     def invalidate(self, prefix: str) -> int:
@@ -464,6 +585,15 @@ class SqliteBackend(StoreBackend):
             "DELETE FROM entries WHERE substr(key, 1, length(:p)) = :p",
             {"p": prefix})
         return cursor.rowcount
+
+    def stats_by_runner(self) -> List[RunnerStats]:
+        rows = self._connect().execute(
+            "SELECT runner_digest, COUNT(*),"
+            " COALESCE(SUM(payload_size), 0)"
+            " FROM entries GROUP BY runner_digest"
+            " ORDER BY 3 DESC, runner_digest").fetchall()
+        return [RunnerStats(digest, entries, payload_bytes)
+                for digest, entries, payload_bytes in rows]
 
     def close(self) -> None:
         with self._lock:

@@ -39,6 +39,12 @@ Store interaction is parent-side only: workers never open a
 only the misses to the pool, and writes results back through whichever
 :class:`~repro.store.StoreBackend` the store was opened on.  The pool is
 therefore backend-agnostic by construction.
+
+The distributed fabric (:mod:`repro.dist`, PR 10) builds on the same
+machinery: each remote worker agent rebuilds runners via this module's
+``_worker_runner`` and shares the same module-level dataset/sampler
+caches, so a ``repro dist worker`` process amortises substrate
+materialisation across chunks exactly like a local pool worker does.
 """
 
 from __future__ import annotations

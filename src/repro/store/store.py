@@ -52,7 +52,7 @@ import json
 import os
 import pathlib
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Union
 
 from repro.exceptions import ConfigurationError
@@ -75,6 +75,7 @@ __all__ = [
     "StoreStats",
     "StoreTraceEvent",
     "SweepStore",
+    "merge_store_traces",
     "migrate_store",
     "resolve_store",
     "runner_spec_digest",
@@ -173,6 +174,11 @@ class StoreTraceEvent:
             wrote (``None`` when nothing was read/written — a plain miss
             or a skipped redundant put).
         thread: ``threading.get_ident()`` of the operating thread.
+        writer: Identity of the writing *process/driver* the event came
+            from (``SweepStore(..., trace_writer="driver-a")``); empty for
+            single-writer traces.  :func:`merge_store_traces` stamps and
+            re-sequences events from several stores so the multi-host
+            consistency check runs over one merged trace.
     """
 
     seq: int
@@ -181,6 +187,7 @@ class StoreTraceEvent:
     outcome: str
     digest: Optional[str]
     thread: int
+    writer: str = ""
 
 
 def verify_store_trace(events: List[StoreTraceEvent]) -> List[str]:
@@ -203,6 +210,14 @@ def verify_store_trace(events: List[StoreTraceEvent]) -> List[str]:
     backend-independent (digests are of whatever bytes the backend
     physically stores), which is how one checker re-proves the contract
     for each backend.
+
+    The checker is also writer-agnostic: a trace merged from several
+    concurrent writer processes (:func:`merge_store_traces`) is checked
+    by exactly the same two rules, because both properties are
+    order-independent across writers — write-once compares *contents*,
+    not orderings, and determinism makes every writer's bytes for one
+    key identical.  That is what lets one checker certify the
+    distributed fabric's "duplicate steals are harmless" claim.
     """
     violations: List[str] = []
     written: Dict[str, Dict[str, int]] = {}
@@ -229,6 +244,27 @@ def verify_store_trace(events: List[StoreTraceEvent]) -> List[str]:
                         f"hits of never-written key {event.key} disagree "
                         f"(seq {event.seq})")
     return violations
+
+
+def merge_store_traces(
+        traces: Dict[str, List[StoreTraceEvent]]) -> List[StoreTraceEvent]:
+    """Merge per-writer traces into one globally-sequenced trace.
+
+    ``traces`` maps a writer id (a driver/process name) to that writer's
+    recorded events (``SweepStore(..., trace=True)`` output).  Events are
+    interleaved deterministically — by each writer's local ``seq``, ties
+    broken by writer id — re-numbered with a fresh global ``seq``, and
+    stamped with their writer id.  Per-writer order is preserved, which
+    is all :func:`verify_store_trace` needs: its two properties are
+    order-independent *across* writers, so any order-preserving
+    interleave certifies (or indicts) the same set of executions.
+    """
+    merged = sorted(
+        ((event, writer) for writer, events in traces.items()
+         for event in events),
+        key=lambda pair: (pair[0].seq, pair[1]))
+    return [replace(event, seq=seq, writer=writer or event.writer)
+            for seq, (event, writer) in enumerate(merged)]
 
 
 @dataclass
@@ -297,6 +333,11 @@ class SweepStore:
             :attr:`trace_events` (with a digest of the bytes involved),
             for :func:`verify_store_trace`-style consistency checking.
             Off by default — tracing holds every event in memory.
+        trace_writer: Writer id stamped on every recorded event, so the
+            traces of several concurrent writer processes can be merged
+            (:func:`merge_store_traces`) and checked as one — the
+            multi-host fabric's consistency proof.  Empty (the default)
+            for single-writer traces.
         retry_policy: :class:`~repro.resilience.RetryPolicy` applied to
             every backend get/put: transient errors (SQLite lock/busy
             contention, ``EAGAIN``-family ``OSError``, injected transient
@@ -338,11 +379,13 @@ class SweepStore:
     def __init__(self, location: Union[str, os.PathLike, StoreBackend],
                  trace: bool = False,
                  retry_policy: Optional[RetryPolicy] = None,
-                 fault_injector: Optional[FaultInjector] = None) -> None:
+                 fault_injector: Optional[FaultInjector] = None,
+                 trace_writer: str = "") -> None:
         if isinstance(location, StoreBackend):
             self._backend = location
         else:
             self._backend = open_backend(location)
+        self._trace_writer = trace_writer
         self._lock = threading.Lock()
         self._retry_policy = (retry_policy if retry_policy is not None
                               else RetryPolicy())
@@ -372,7 +415,8 @@ class SweepStore:
                 self.trace_events.append(StoreTraceEvent(
                     seq=len(self.trace_events), op=op, key=key,
                     outcome=outcome, digest=digest,
-                    thread=threading.get_ident()))
+                    thread=threading.get_ident(),
+                    writer=self._trace_writer))
 
     @property
     def backend(self) -> StoreBackend:
@@ -554,6 +598,17 @@ class SweepStore:
             mode=self.mode,
             degraded_reason=self.degraded_reason,
         )
+
+    def stats_by_runner(self):
+        """Entries/bytes grouped by runner-spec digest, biggest first.
+
+        Answered by the backend's ``runner_digest`` index (the SQLite
+        backend's indexed GROUP BY — no payload is unpacked); backends
+        without a runner index raise
+        :class:`~repro.exceptions.ConfigurationError`.  Returns
+        :class:`~repro.store.backend.RunnerStats` rows.
+        """
+        return self._backend.stats_by_runner()
 
     def gc(self, max_entries: Optional[int] = None,
            max_bytes: Optional[int] = None) -> int:

@@ -38,14 +38,18 @@ from repro.exceptions import ConfigurationError, SweepPointError
 from repro.sim.harness import GOLDEN_GRIDS, load_golden, snapshot_diff
 from repro.sim.sweep import WORKERS_ENV_VAR, SweepPoint, SweepRecord, SweepRunner
 from repro.store import (
+    STORE_CODEC_ENV_VAR,
+    STORE_CODECS,
     STORE_ENV_VAR,
     SqliteBackend,
     SweepStore,
+    default_codec,
     migrate_store,
     resolve_store,
     source_digest,
     store_key,
 )
+from repro.store.backend import _zstd_functions
 
 SCALE = 1 / 500.0
 
@@ -616,3 +620,152 @@ class TestGoldenGridsThroughStore:
         assert warm_store.hits == len(grid.points())
         assert not snapshot_diff(expected, warm), (
             f"{name}: warm (rehydrated) run diverged from the golden")
+
+
+class TestPayloadCodec:
+    """The SQLite backend's pluggable payload codec: zstd when a module
+    provides it, zlib otherwise, always validated at construction and
+    always read back by each entry's recorded codec column."""
+
+    def _sqlite(self, tmp_path, **kwargs) -> SweepStore:
+        return SweepStore(SqliteBackend(tmp_path / "store.db", **kwargs))
+
+    def test_default_codec_is_valid_and_used(self, tmp_path):
+        store = self._sqlite(tmp_path)
+        assert default_codec() in STORE_CODECS
+        assert store.backend.codec == default_codec()
+
+    def test_environment_variable_forces_the_codec(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv(STORE_CODEC_ENV_VAR, "zlib")
+        assert self._sqlite(tmp_path).backend.codec == "zlib"
+
+    def test_explicit_argument_wins_over_the_environment(self, tmp_path,
+                                                         monkeypatch):
+        monkeypatch.setenv(STORE_CODEC_ENV_VAR, "definitely-not-a-codec")
+        # The env value would raise; the explicit argument pre-empts it.
+        assert self._sqlite(tmp_path, codec="zlib").backend.codec == "zlib"
+
+    @pytest.mark.parametrize("source", ["argument", "environment"])
+    def test_unknown_codec_fails_at_construction(self, tmp_path,
+                                                 monkeypatch, source):
+        if source == "environment":
+            monkeypatch.setenv(STORE_CODEC_ENV_VAR, "lz5")
+            with pytest.raises(ConfigurationError, match="unknown store codec"):
+                self._sqlite(tmp_path)
+        else:
+            with pytest.raises(ConfigurationError, match="unknown store codec"):
+                self._sqlite(tmp_path, codec="lz5")
+
+    @pytest.mark.skipif(_zstd_functions() is not None,
+                        reason="a zstd module is available here")
+    def test_unavailable_zstd_fails_at_construction_not_in_put(
+            self, tmp_path):
+        """Requesting zstd with no module must raise while building the
+        backend — a put-time failure would be absorbed by the store's
+        degradation ladder and silently flip the store read-only."""
+        with pytest.raises(ConfigurationError, match="no module provides"):
+            self._sqlite(tmp_path, codec="zstd")
+
+    @pytest.mark.skipif(_zstd_functions() is None,
+                        reason="no zstd module in this interpreter")
+    def test_zstd_entries_round_trip_bit_identically(self, tmp_path):
+        store = self._sqlite(tmp_path, codec="zstd")
+        runner = _runner()
+        runner.run(_points(), store=store)
+        warm = SweepStore(SqliteBackend(tmp_path / "store.db", codec="zstd"))
+        for point in _points():
+            key = store.key_for(runner, point)
+            a = store.get(key, point).snapshot(include_timeline=True)
+            b = warm.get(key, point).snapshot(include_timeline=True)
+            assert a == b
+
+    @pytest.mark.skipif(_zstd_functions() is None,
+                        reason="no zstd module in this interpreter")
+    def test_old_zlib_entries_stay_readable_under_a_zstd_writer(
+            self, tmp_path):
+        """Reads go by each entry's recorded codec column, so a store
+        written before the codec switch keeps serving."""
+        runner = _runner()
+        zlib_store = self._sqlite(tmp_path, codec="zlib")
+        runner.run(_points(), store=zlib_store)
+        mixed = SweepStore(SqliteBackend(tmp_path / "store.db", codec="zstd"))
+        for point in _points():
+            key = zlib_store.key_for(runner, point)
+            assert (mixed.get(key, point).snapshot(include_timeline=True)
+                    == zlib_store.get(key, point)
+                    .snapshot(include_timeline=True))
+
+    def test_migrate_round_trips_across_codecs(self, tmp_path, monkeypatch):
+        """sqlite -> json -> sqlite under whatever codec is configured:
+        the rehydrated snapshots are bit-identical."""
+        monkeypatch.setenv(STORE_CODEC_ENV_VAR, "zlib")
+        src = SweepStore(f"sqlite://{tmp_path / 'src.db'}")
+        runner = _runner()
+        runner.run(_points(), store=src)
+        middle = SweepStore(tmp_path / "json-middle")
+        assert migrate_store(src, middle) == 2
+        dest = SweepStore(f"sqlite://{tmp_path / 'dest.db'}")
+        assert migrate_store(middle, dest) == 2
+        for point in _points():
+            key = src.key_for(runner, point)
+            assert (dest.get(key, point).snapshot(include_timeline=True)
+                    == src.get(key, point).snapshot(include_timeline=True))
+
+
+class TestSqliteGcReclaimsDisk:
+    def test_gc_shrinks_the_physical_footprint(self, tmp_path):
+        """``gc`` on SQLite checkpoints the WAL and VACUUMs, so pruning
+        entries actually returns disk (a bare DELETE would not)."""
+        store = SweepStore(f"sqlite://{tmp_path / 'store.db'}")
+        runner = _runner()
+        runner.run(_points(), store=store)
+        before = store.stats().disk_bytes
+        assert store.gc(max_entries=1) == 1
+        after = store.stats().disk_bytes
+        assert after < before, (
+            f"gc left the footprint at {after} bytes (was {before})")
+        # The survivor still serves after the rebuild.
+        survivor = store.backend.entries()
+        assert len(survivor) == 1
+        served = sum(
+            1 for point in _points()
+            if SweepStore(f"sqlite://{tmp_path / 'store.db'}").get(
+                store.key_for(runner, point), point) is not None)
+        assert served == 1
+
+
+class TestStatsByRunner:
+    def test_rows_group_on_the_runner_digest(self, tmp_path):
+        store = SweepStore(f"sqlite://{tmp_path / 'store.db'}")
+        _runner().run(_points(), store=store)
+        _runner(seed=7).run(_points(), store=store)
+        rows = store.stats_by_runner()
+        assert len(rows) == 2
+        assert sum(row.entries for row in rows) == 4
+        assert all(row.runner_digest and row.payload_bytes > 0
+                   for row in rows)
+        # Biggest runner first — the operator-facing ordering.
+        assert rows == sorted(rows, key=lambda r: (-r.payload_bytes,
+                                                   r.runner_digest))
+
+    def test_analytics_never_unpack_payloads(self, tmp_path, monkeypatch):
+        """The by-runner rollup is index-only SQL over the indexed
+        ``runner_digest`` column — decompressing payloads for stats
+        would defeat the index/payload split."""
+        import repro.store.backend as backend_module
+        store = SweepStore(f"sqlite://{tmp_path / 'store.db'}")
+        _runner().run(_points(), store=store)
+
+        def forbidden(codec, blob):
+            raise AssertionError("stats_by_runner unpacked a payload")
+
+        monkeypatch.setattr(backend_module, "_unpack", forbidden)
+        rows = store.stats_by_runner()
+        assert rows and rows[0].entries == 2
+
+    def test_json_backend_refuses_loudly(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        _runner().run(_points(), store=store)
+        with pytest.raises(ConfigurationError, match="no runner index"):
+            store.stats_by_runner()

@@ -35,7 +35,12 @@ import pytest
 from repro.cluster.configs import config_ssd_v100
 from repro.compute.model_zoo import RESNET18
 from repro.sim.sweep import SweepPoint, SweepRunner
-from repro.store import StoreTraceEvent, SweepStore, verify_store_trace
+from repro.store import (
+    StoreTraceEvent,
+    SweepStore,
+    merge_store_traces,
+    verify_store_trace,
+)
 
 SCALE = 1 / 500.0
 
@@ -313,3 +318,82 @@ class TestCorruptionRepair:
         # Write-once + reads-serve-writes must hold over the whole ordeal;
         # corrupted reads appear as invalid (not hit) events and pass.
         assert verify_store_trace(store.trace_events) == []
+
+
+class TestMultiWriterTraces:
+    """Several concurrent writer processes/drivers (the multi-host fabric's
+    shape) each record their own trace; merged into one globally-sequenced
+    history, the write-once contract still holds — and a fabricated
+    conflicting multi-writer history is still caught."""
+
+    def test_concurrent_writers_merge_to_a_consistent_trace(self, location):
+        runner = _runner()
+        points = [_point(fraction) for fraction in (0.3, 0.5, 0.7)]
+        records = {p.cache_fraction: _simulate(runner, p) for p in points}
+        writers = {
+            name: SweepStore(location, trace=True, trace_writer=name)
+            for name in ("driver-a", "driver-b", "driver-c")}
+        keys = {p.cache_fraction:
+                next(iter(writers.values())).key_for(runner, p)
+                for p in points}
+        barrier = threading.Barrier(len(writers) * 2)
+
+        def churn(store):
+            barrier.wait()
+            for _ in range(5):
+                for point in points:
+                    store.put(keys[point.cache_fraction],
+                              records[point.cache_fraction])
+                    store.get(keys[point.cache_fraction], point)
+
+        _run_threads([lambda s=s: churn(s)
+                      for s in writers.values() for _ in range(2)])
+        merged = merge_store_traces(
+            {name: store.trace_events for name, store in writers.items()})
+        assert merged, "tracing was on but recorded nothing"
+        # Stamped, re-sequenced, and contract-clean as one history.
+        assert [event.seq for event in merged] == list(range(len(merged)))
+        assert {event.writer for event in merged} == set(writers)
+        assert sum(len(s.trace_events) for s in writers.values()) == len(merged)
+        assert verify_store_trace(merged) == []
+
+    def test_merge_is_deterministic_and_keeps_local_order(self):
+        a = [StoreTraceEvent(seq=0, op="put", key="k", outcome="stored",
+                             digest="aaaa", thread=1),
+             StoreTraceEvent(seq=1, op="get", key="k", outcome="hit",
+                             digest="aaaa", thread=1)]
+        b = [StoreTraceEvent(seq=0, op="get", key="k", outcome="hit",
+                             digest="aaaa", thread=2)]
+        merged = merge_store_traces({"b": b, "a": a})
+        assert merged == merge_store_traces({"a": a, "b": b})
+        # Ties on local seq break on the writer id; each writer's own
+        # events keep their relative order.
+        assert [(e.writer, e.op) for e in merged] == [
+            ("a", "put"), ("b", "get"), ("a", "get")]
+        assert [e.seq for e in merged] == [0, 1, 2]
+
+    def test_merged_conflicting_writers_are_caught(self):
+        """Two drivers claiming to have stored different bytes under one
+        key: invisible inside either single-writer trace, a write-once
+        violation in the merged one."""
+        a = [StoreTraceEvent(seq=0, op="put", key="k1", outcome="stored",
+                             digest="aaaa", thread=1)]
+        b = [StoreTraceEvent(seq=0, op="put", key="k1", outcome="stored",
+                             digest="bbbb", thread=1)]
+        assert verify_store_trace(a) == []
+        assert verify_store_trace(b) == []
+        violations = verify_store_trace(
+            merge_store_traces({"driver-a": a, "driver-b": b}))
+        assert len(violations) == 1
+        assert "write-once violated" in violations[0]
+
+    def test_merged_cross_writer_stale_read_is_caught(self):
+        """A reader on one host seeing bytes no writer anywhere put."""
+        a = [StoreTraceEvent(seq=0, op="put", key="k1", outcome="stored",
+                             digest="aaaa", thread=1)]
+        b = [StoreTraceEvent(seq=0, op="get", key="k1", outcome="hit",
+                             digest="cccc", thread=1)]
+        violations = verify_store_trace(
+            merge_store_traces({"driver-a": a, "driver-b": b}))
+        assert len(violations) == 1
+        assert "no put of that key wrote" in violations[0]

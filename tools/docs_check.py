@@ -4,7 +4,8 @@
 Checked surfaces: ``repro.__all__`` (the top-level re-exports) plus the
 subsystem surfaces ``repro.sim.__all__``, ``repro.coordl.__all__``,
 ``repro.cache.__all__``, ``repro.store.__all__``, ``repro.serve.__all__``,
-``repro.resilience.__all__`` and ``repro.experiments.failures.__all__``.
+``repro.resilience.__all__``, ``repro.dist.__all__`` and
+``repro.experiments.failures.__all__``.
 
 Run as ``make docs-check`` (or ``PYTHONPATH=src python tools/docs_check.py``).
 The check is textual on purpose: a symbol counts as documented when its name
@@ -23,6 +24,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import repro  # noqa: E402  (path bootstrap above)
 import repro.cache  # noqa: E402
 import repro.coordl  # noqa: E402
+import repro.dist  # noqa: E402
 import repro.experiments.failures  # noqa: E402
 import repro.resilience  # noqa: E402
 import repro.serve  # noqa: E402
@@ -38,6 +40,7 @@ CHECKED_SURFACES = (
     ("repro.store", repro.store),
     ("repro.serve", repro.serve),
     ("repro.resilience", repro.resilience),
+    ("repro.dist", repro.dist),
     ("repro.experiments.failures", repro.experiments.failures),
 )
 
